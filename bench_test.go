@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the FliT paper's
+// evaluation (§6), plus micro-benchmarks of the substrate. Each
+// BenchmarkFigN runs the corresponding harness experiment (short cells;
+// use cmd/flitbench for longer, quieter runs) and logs the full table
+// under -v; the headline quantity of each figure is emitted as a custom
+// benchmark metric.
+package flit_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/harness"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+func benchOpts() harness.Options {
+	return harness.Options{
+		Threads:  runtime.GOMAXPROCS(0),
+		Duration: 60 * time.Millisecond,
+	}
+}
+
+func logTables(b *testing.B, tables []*harness.Table) {
+	for _, t := range tables {
+		b.Log("\n" + t.Format())
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (flit-HT size tuning, automatic BST).
+// Metric: throughput ratio of the 1MB table over the 4KB table at 50%
+// updates (the paper's collision collapse).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := harness.Fig5(benchOpts())
+		t := tables[0]
+		if v4, v1m := t.Rows[0].Cells[2], t.Rows[2].Cells[2]; v4 > 0 {
+			b.ReportMetric(v1m/v4, "x_1MB_over_4KB_at50upd")
+		}
+		logTables(b, tables)
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (thread scalability, automatic BST).
+// Metric: flit-HT throughput at the host's core count, in Mops/s.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := harness.Fig6(benchOpts())
+		t := tables[0]
+		cores := 0
+		for ci := range t.Cols {
+			if t.Cols[ci] == "" {
+				break
+			}
+			cores = ci
+			if t.Cols[ci] == "2" {
+				break
+			}
+		}
+		b.ReportMetric(t.Rows[2].Cells[cores], "Mops_flitHT_atCores")
+		logTables(b, tables)
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (structures x durability x policy).
+// Metrics: min and max flit-HT-over-plain speedups across all cells (the
+// paper reports 2.17x..99.5x).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := harness.Fig7(benchOpts())
+		summary := tables[len(tables)-1]
+		minS, maxS := 1e18, 0.0
+		for _, row := range summary.Rows {
+			for _, v := range row.Cells {
+				if v == 0 {
+					continue
+				}
+				if v < minS {
+					minS = v
+				}
+				if v > maxS {
+					maxS = v
+				}
+			}
+		}
+		b.ReportMetric(minS, "x_speedup_min")
+		b.ReportMetric(maxS, "x_speedup_max")
+		logTables(b, tables)
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (update-ratio sweep, normalized to
+// the non-persistent baseline). Small sizes only at bench durations; run
+// flitbench for the large sweep. Metric: flit-HT fraction of baseline on
+// the small BST at 0% updates (the paper shows near-1.0).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Small = true
+		tables := harness.Fig8(o)
+		for _, t := range tables {
+			for _, r := range t.Rows {
+				if r.Label == "flit-HT(1MB)" {
+					b.ReportMetric(r.Cells[0], "frac_of_baseline_bst0upd")
+				}
+				break
+			}
+			break
+		}
+		logTables(b, tables)
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (flushes per operation). Metric:
+// plain-over-flit-HT pwb ratio on the automatic list (the redundant
+// flushes FliT eliminates).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := harness.Fig9(benchOpts())
+		t := tables[0]
+		var plain, flit float64
+		for _, r := range t.Rows {
+			switch r.Label {
+			case "plain":
+				plain = r.Cells[2]
+			case "flit-HT(1MB)":
+				flit = r.Cells[2]
+			}
+		}
+		if flit > 0 {
+			b.ReportMetric(plain/flit, "x_pwbs_plain_over_flit")
+		}
+		logTables(b, tables)
+	}
+}
+
+// BenchmarkAblationInvalidate regenerates ablation A (clwb invalidation).
+func BenchmarkAblationInvalidate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, harness.AblationInvalidate(benchOpts()))
+	}
+}
+
+// BenchmarkAblationPacked regenerates ablation B (packed flit-counters).
+func BenchmarkAblationPacked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, harness.AblationPacked(benchOpts()))
+	}
+}
+
+// BenchmarkAblationPerLine regenerates ablation C (per-cache-line
+// counters, the paper's future-work variant).
+func BenchmarkAblationPerLine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, harness.AblationPerLine(benchOpts()))
+	}
+}
+
+// BenchmarkAblationIzraelevitz regenerates ablation D (the original
+// Izraelevitz et al. construction as the historical baseline).
+func BenchmarkAblationIzraelevitz(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, harness.AblationIzraelevitz(benchOpts()))
+	}
+}
+
+// BenchmarkAblationZipf regenerates ablation E (skewed-access contention).
+func BenchmarkAblationZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTables(b, harness.AblationZipf(benchOpts()))
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func newBenchMem(b *testing.B) (*pmem.Memory, *pmem.Thread) {
+	m := pmem.New(pmem.DefaultConfig(1 << 16))
+	return m, m.RegisterThread()
+}
+
+// BenchmarkRawLoad measures an instrumented volatile load.
+func BenchmarkRawLoad(b *testing.B) {
+	_, th := newBenchMem(b)
+	th.Store(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Load(64)
+	}
+}
+
+// BenchmarkPWBPFence measures a flush+fence pair — the cost FliT avoids.
+func BenchmarkPWBPFence(b *testing.B) {
+	_, th := newBenchMem(b)
+	th.Store(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.PWB(64)
+		th.PFence()
+	}
+}
+
+// BenchmarkPLoadUntagged measures FliT's p-load fast path (tag check, no
+// flush): this is what every read in an automatic-mode traversal costs.
+func BenchmarkPLoadUntagged(b *testing.B) {
+	_, th := newBenchMem(b)
+	pol := core.NewFliT(core.NewHashTable(1 << 20))
+	pol.Store(th, 64, 1, core.P)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Load(th, 64, core.P)
+	}
+}
+
+// BenchmarkPLoadPlain measures the plain policy's p-load (unconditional
+// flush) for contrast.
+func BenchmarkPLoadPlain(b *testing.B) {
+	_, th := newBenchMem(b)
+	pol := core.Plain{}
+	pol.Store(th, 64, 1, core.P)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Load(th, 64, core.P)
+		if i%64 == 0 {
+			th.PFence() // drain the write-back queue as a real op would
+		}
+	}
+}
+
+// BenchmarkPStore measures a full Algorithm 4 shared p-store.
+func BenchmarkPStore(b *testing.B) {
+	_, th := newBenchMem(b)
+	pol := core.NewFliT(core.NewHashTable(1 << 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Store(th, 64, uint64(i), core.P)
+	}
+}
+
+// BenchmarkSetContains measures a single-threaded automatic-mode Contains
+// on each structure under flit-HT (10K keys).
+func BenchmarkSetContains(b *testing.B) {
+	for _, ds := range harness.DataStructures {
+		b.Run(ds, func(b *testing.B) {
+			inst := harness.Build(harness.Spec{
+				DS: ds, Policy: harness.PolHT, Mode: dstruct.Automatic, KeyRange: 10_000,
+			})
+			inst.Prefill()
+			th := inst.Set.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				th.Contains(uint64(i*2654435761) % 10_000)
+			}
+		})
+	}
+}
+
+// BenchmarkSetInsertDelete measures an automatic-mode insert+delete pair
+// under flit-HT.
+func BenchmarkSetInsertDelete(b *testing.B) {
+	for _, ds := range harness.DataStructures {
+		b.Run(ds, func(b *testing.B) {
+			inst := harness.Build(harness.Spec{
+				DS: ds, Policy: harness.PolHT, Mode: dstruct.Automatic, KeyRange: 10_000,
+				Duration: 10 * time.Second, // leak budget for the skiplist
+			})
+			inst.Prefill()
+			th := inst.Set.NewThread()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i*2654435761)%10_000 + 1
+				th.Insert(k, k)
+				th.Delete(k)
+			}
+		})
+	}
+}
+
+// BenchmarkArenaAlloc measures the persistent allocator's hot path.
+func BenchmarkArenaAlloc(b *testing.B) {
+	m := pmem.New(pmem.DefaultConfig(1 << 24))
+	ar := pheap.New(m).NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ar.Alloc(4)
+		ar.Free(p, 4)
+	}
+}

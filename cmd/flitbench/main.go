@@ -1,0 +1,100 @@
+// Command flitbench regenerates the tables and figures of the FliT paper's
+// evaluation section (§6) on the simulated-NVRAM substrate.
+//
+// Usage:
+//
+//	flitbench -fig 7                # one figure
+//	flitbench -fig all -duration 500ms -out results.txt
+//	flitbench -list                 # enumerate figure ids
+//
+// Figures: 5 (flit-HT size tuning), 6 (thread scalability), 7 (structures x
+// durability x policy), 8 (update-ratio sweep, normalized), 9 (flushes per
+// operation), plus ablations: ablation-inv (clwb invalidation),
+// ablation-pack (packed counters), ablation-line (per-cache-line
+// counters), ablation-iz (Izraelevitz et al. baseline).
+//
+// Absolute throughput is simulated-memory throughput; the paper's shapes
+// (who wins, by what factor, where crossovers fall) are the reproduction
+// target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"flit/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (5,6,7,8,9,ablation-inv,ablation-pack,ablation-line,ablation-iz,ablation-zipf,all)")
+	duration := flag.Duration("duration", 250*time.Millisecond, "measured duration per cell")
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads (the paper used 44)")
+	small := flag.Bool("small", false, "restrict Figure 8 to small structure sizes")
+	invalidate := flag.Bool("invalidate", false, "model the invalidating clwb of Cascade Lake everywhere")
+	out := flag.String("out", "", "also append output to this file")
+	repeats := flag.Int("repeats", 1, "average each cell over N runs (the paper used 5)")
+	csv := flag.String("csv", "", "also append CSV-formatted tables to this file")
+	listFigs := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	if *listFigs {
+		for _, id := range harness.FigureOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flitbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := harness.Options{
+		Threads:    *threads,
+		Duration:   *duration,
+		Small:      *small,
+		Invalidate: *invalidate,
+		Repeats:    *repeats,
+	}
+	var csvFile *os.File
+	if *csv != "" {
+		f, err := os.OpenFile(*csv, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flitbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = harness.FigureOrder
+	}
+	fmt.Fprintf(w, "flitbench: %d threads, %v per cell, invalidating-clwb=%v\n\n",
+		opts.Threads, opts.Duration, opts.Invalidate)
+	for _, id := range ids {
+		run, ok := harness.Figures[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flitbench: unknown figure %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		for _, table := range run(opts) {
+			fmt.Fprintln(w, table.Format())
+			if csvFile != nil {
+				fmt.Fprintln(csvFile, table.CSV())
+			}
+		}
+		fmt.Fprintf(w, "(figure %s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

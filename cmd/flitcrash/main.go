@@ -1,0 +1,116 @@
+// Command flitcrash runs randomized crash-recovery validation: workers
+// hammer a durable structure, crash at seeded instruction counts, the
+// persistent image is recovered, and the surviving state is checked for
+// durable linearizability. A non-zero exit means a violation was found
+// (and printed with the full per-key history).
+//
+// Usage:
+//
+//	flitcrash -rounds 200
+//	flitcrash -ds bst -mode manual -policy flit-adjacent -rounds 50 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/crashtest"
+	"flit/internal/dstruct"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+func policyByName(name string, words int) core.Policy {
+	switch name {
+	case "flit-ht":
+		return core.NewFliT(core.NewHashTable(1 << 14))
+	case "flit-adjacent":
+		return core.NewFliT(core.Adjacent{})
+	case "flit-packed":
+		return core.NewFliT(core.NewPackedHashTable(1 << 12))
+	case "flit-perline":
+		return core.NewFliT(core.NewDirectMap(words))
+	case "plain":
+		return core.Plain{}
+	case "link-and-persist":
+		return core.LinkAndPersist{}
+	default:
+		fmt.Fprintf(os.Stderr, "flitcrash: unknown policy %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func modeByName(name string) dstruct.Mode {
+	for _, m := range dstruct.Modes {
+		if m.String() == name {
+			return m
+		}
+	}
+	fmt.Fprintf(os.Stderr, "flitcrash: unknown mode %q\n", name)
+	os.Exit(2)
+	return 0
+}
+
+func main() {
+	rounds := flag.Int("rounds", 60, "seeded crash rounds per combination")
+	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst)")
+	modeFilter := flag.String("mode", "", "restrict to one durability mode (automatic|nvtraverse|manual)")
+	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|link-and-persist)")
+	seed0 := flag.Int64("seed", 1, "first seed")
+	verbose := flag.Bool("v", false, "print every round")
+	flag.Parse()
+
+	const words = 1 << 20
+	crashModes := []pmem.CrashMode{pmem.DropUnfenced, pmem.RandomSubset, pmem.PersistAll}
+	start := time.Now()
+	total, failures := 0, 0
+
+	for _, target := range crashtest.Targets() {
+		if *dsFilter != "" && target.Name != *dsFilter {
+			continue
+		}
+		polNames := []string{"flit-ht", "flit-adjacent", "plain"}
+		if target.WithLAP {
+			polNames = append(polNames, "link-and-persist")
+		}
+		if *polFilter != "" {
+			polNames = []string{*polFilter}
+		}
+		modes := dstruct.Modes
+		if *modeFilter != "" {
+			modes = []dstruct.Mode{modeByName(*modeFilter)}
+		}
+		for _, mode := range modes {
+			for _, polName := range polNames {
+				for r := 0; r < *rounds; r++ {
+					seed := *seed0 + int64(r)
+					cm := crashModes[r%len(crashModes)]
+					pol := policyByName(polName, words)
+					mcfg := pmem.DefaultConfig(words)
+					mcfg.PWBCost, mcfg.PFenceCost, mcfg.PFenceEntryCost = 0, 0, 0
+					cfg := dstruct.Config{
+						Heap: pheap.New(pmem.New(mcfg)), Policy: pol, Mode: mode,
+						RootSlot: 0, Stride: dstruct.StrideFor(pol),
+					}
+					v, _ := crashtest.Run(cfg, target, crashtest.DefaultOptions(seed, cm))
+					total++
+					if v != nil {
+						failures++
+						fmt.Printf("VIOLATION %s/%s/%s seed=%d crash=%v\n%v\n",
+							target.Name, mode, polName, seed, cm, v)
+					} else if *verbose {
+						fmt.Printf("ok %s/%s/%s seed=%d crash=%v\n", target.Name, mode, polName, seed, cm)
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("flitcrash: %d rounds, %d violations, %v\n", total, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

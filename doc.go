@@ -1,0 +1,40 @@
+// Package flit is a Go reproduction of "FliT: A Library for Simple and
+// Efficient Persistent Algorithms" (Wei, Ben-David, Friedman, Blelloch,
+// Petrank — PPoPP 2022).
+//
+// FliT ("Flush if Tagged") instruments loads and stores so that any
+// linearizable data structure becomes durably linearizable on non-volatile
+// memory, while skipping almost all redundant flush instructions. The key
+// idea is a flit-counter per memory location: a persisted store increments
+// the counter, writes, flushes, fences, then decrements; a persisted load
+// flushes the location only if its counter is non-zero.
+//
+// Because Go cannot issue clwb/sfence and its GC forbids per-word tracking
+// of native pointers, this reproduction runs on a simulated persistent
+// memory (internal/pmem): a word-addressable volatile layer with a
+// persistent shadow, explicit PWB/PFence instructions, crash-image
+// generation and flush-cost modeling. Data structures allocate nodes from
+// a persistent heap (internal/pheap) and reference them by offset, exactly
+// as PMDK-based C++ code does.
+//
+// The packages under internal implement, per the paper:
+//
+//   - internal/pmem:   the NVRAM substrate (volatile + persistent layers,
+//     PWB/PFence, crash modes, instruction-level crash injection, stats)
+//   - internal/pheap:  persistent heap with offset pointers and root slots
+//   - internal/core:   the P-V Interface policies — FliT (Algorithm 4) with
+//     pluggable flit-counter placement, link-and-persist, plain, no-persist
+//   - internal/dstruct: Harris linked list, hash table, skiplist and
+//     Natarajan–Mittal BST, each supporting automatic / NVtraverse / manual
+//     durability methods and post-crash recovery; plus the Friedman-style
+//     durable queue (§4's volatile head/tail example) and a lock-based map
+//     demonstrating §7's private-instruction optimization
+//   - internal/audit:  a runtime P-V Interface conformance checker that
+//     localizes Definition-1 violations to the offending instruction
+//   - internal/hist:   a durable-linearizability checker for set histories
+//   - internal/harness: the workload driver regenerating every figure of
+//     the paper's evaluation section
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results. Start with examples/quickstart.
+package flit

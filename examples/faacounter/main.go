@@ -1,0 +1,74 @@
+// faacounter: durable statistics counters built on fetch-and-add
+// p-instructions. This is the use case the paper highlights as impossible
+// under link-and-persist (which requires every store to be a CAS and has
+// no spare bit to steal from an arbitrary integer), while FliT instruments
+// FAA like any other instruction.
+//
+// Run: go run ./examples/faacounter
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"flit/internal/core"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+const counters = 8
+
+func main() {
+	mem := pmem.New(pmem.DefaultConfig(1 << 16))
+	heap := pheap.New(mem)
+	policy := core.NewFliT(core.NewHashTable(1 << 16))
+
+	// A bank of persistent event counters at fixed roots: counter i lives
+	// at root slot i (its word has a free neighbor for flit-adjacent too).
+	addr := func(i int) pmem.Addr { return heap.Root(i) }
+
+	// Concurrent workers bump counters with persisted FAA. Each increment
+	// is durable before the instruction returns.
+	const workers = 4
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := mem.RegisterThread()
+			for i := 0; i < perWorker; i++ {
+				policy.FAA(th, addr((w+i)%counters), 1, core.P)
+			}
+			policy.Complete(th)
+		}(w)
+	}
+	wg.Wait()
+
+	// Crash with the harshest model and read the counters back.
+	image := mem.CrashImage(pmem.DropUnfenced, 1)
+	mem2 := pmem.NewFromImage(image, mem.Config())
+	th := mem2.RegisterThread()
+	var total uint64
+	for i := 0; i < counters; i++ {
+		v := policy.Load(th, pheap.New(mem2).Root(i), core.P)
+		fmt.Printf("counter[%d] = %6d (persisted)\n", i, v)
+		total += v
+	}
+	fmt.Printf("total = %d, expected %d\n", total, workers*perWorker)
+	if total == workers*perWorker {
+		fmt.Println("every acknowledged FAA survived the crash ✓")
+	}
+
+	// And the contrast the paper draws:
+	fmt.Println()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Println("link-and-persist, as expected, cannot do this:")
+				fmt.Println("  ", r)
+			}
+		}()
+		core.LinkAndPersist{}.FAA(mem2.RegisterThread(), 8, 1, core.P)
+	}()
+}

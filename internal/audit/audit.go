@@ -1,0 +1,195 @@
+// Package audit provides a runtime conformance checker for the P-V
+// Interface (Definition 1 of the paper). An Auditor wraps any core.Policy
+// and tracks, per thread, the dependency set the definition prescribes:
+//
+//   - Condition 2: the thread depends on its own linearized p-stores;
+//   - Condition 3: a p-load adds a dependency on the loaded value;
+//   - Condition 4: at every shared store and at operation completion, all
+//     dependencies must be persisted.
+//
+// At each checkpoint the auditor inspects the simulated persistent shadow:
+// a dependency (addr, value) is discharged if the shadow holds the value,
+// or if the volatile layer has moved past it (a newer store linearized on
+// that location — the newer value carries the obligation forward, exactly
+// as in the paper's proof of Theorem 3.1). Anything else is a violation.
+//
+// The auditor is exact for quiescent checks and conservative under
+// concurrency (a racing overwrite between the two inspections could mask
+// a real violation, never invent one in practice); the crash-test harness
+// remains the end-to-end oracle. Use the auditor to localize *which
+// instruction* broke the protocol.
+package audit
+
+import (
+	"fmt"
+	"sync"
+
+	"flit/internal/core"
+	"flit/internal/pmem"
+)
+
+// Violation is one failed Condition-4 check.
+type Violation struct {
+	Thread     int
+	Addr       pmem.Addr
+	Want       uint64 // the depended-on value
+	Shadow     uint64 // what the persistent shadow held
+	Checkpoint string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("thread %d: dependency on %d=%d not persisted at %s (shadow holds %d)",
+		v.Thread, v.Addr, v.Want, v.Checkpoint, v.Shadow)
+}
+
+// Auditor wraps an inner policy with dependency tracking. Create one per
+// memory; threads are tracked independently and lock-free on the hot path
+// (each thread owns its dependency map).
+type Auditor struct {
+	Inner core.Policy
+	Mem   *pmem.Memory
+
+	mu         sync.Mutex
+	deps       map[*pmem.Thread]map[pmem.Addr]uint64
+	violations []Violation
+}
+
+// New wraps inner with auditing against mem's persistent shadow.
+func New(inner core.Policy, mem *pmem.Memory) *Auditor {
+	return &Auditor{Inner: inner, Mem: mem, deps: make(map[*pmem.Thread]map[pmem.Addr]uint64)}
+}
+
+// Violations returns all recorded violations.
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+func (a *Auditor) depsOf(t *pmem.Thread) map[pmem.Addr]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d := a.deps[t]
+	if d == nil {
+		d = make(map[pmem.Addr]uint64)
+		a.deps[t] = d
+	}
+	return d
+}
+
+// record adds a dependency (Conditions 2 and 3).
+func (a *Auditor) record(t *pmem.Thread, addr pmem.Addr, v uint64) {
+	a.depsOf(t)[addr] = v &^ core.DirtyBit
+}
+
+// check verifies Condition 4 and clears discharged dependencies.
+func (a *Auditor) check(t *pmem.Thread, where string) {
+	d := a.depsOf(t)
+	for addr, want := range d {
+		shadow := a.Mem.PersistedWord(addr) &^ core.DirtyBit
+		if shadow == want {
+			delete(d, addr)
+			continue
+		}
+		if vol := a.Mem.VolatileWord(addr) &^ core.DirtyBit; vol != want {
+			// Superseded: a newer store linearized here; its writer (or
+			// this thread's later p-load of it) carries the obligation.
+			delete(d, addr)
+			continue
+		}
+		a.mu.Lock()
+		a.violations = append(a.violations, Violation{
+			Thread: t.ID, Addr: addr, Want: want, Shadow: shadow, Checkpoint: where,
+		})
+		a.mu.Unlock()
+		delete(d, addr)
+	}
+}
+
+// Name labels the audited policy.
+func (a *Auditor) Name() string { return "audit(" + a.Inner.Name() + ")" }
+
+// SupportsRMW defers to the inner policy.
+func (a *Auditor) SupportsRMW() bool { return a.Inner.SupportsRMW() }
+
+// Load delegates, then records the Condition-3 dependency for p-loads.
+func (a *Auditor) Load(t *pmem.Thread, addr pmem.Addr, pflag bool) uint64 {
+	v := a.Inner.Load(t, addr, pflag)
+	if pflag {
+		a.record(t, addr, v)
+	}
+	return v
+}
+
+// Store delegates (the inner leading fence runs first), then checks
+// Condition 4 and records the Condition-2 dependency for p-stores.
+func (a *Auditor) Store(t *pmem.Thread, addr pmem.Addr, v uint64, pflag bool) {
+	a.Inner.Store(t, addr, v, pflag)
+	a.check(t, "shared store")
+	if pflag {
+		a.record(t, addr, v)
+	}
+}
+
+// CAS delegates, then checks Condition 4; a successful p-CAS records its
+// new value as a dependency.
+func (a *Auditor) CAS(t *pmem.Thread, addr pmem.Addr, old, new uint64, pflag bool) bool {
+	ok := a.Inner.CAS(t, addr, old, new, pflag)
+	a.check(t, "shared CAS")
+	if ok && pflag {
+		a.record(t, addr, new)
+	}
+	return ok
+}
+
+// FAA delegates, then checks Condition 4 and records the new value.
+func (a *Auditor) FAA(t *pmem.Thread, addr pmem.Addr, delta uint64, pflag bool) uint64 {
+	prev := a.Inner.FAA(t, addr, delta, pflag)
+	a.check(t, "shared FAA")
+	if pflag {
+		a.record(t, addr, prev+delta)
+	}
+	return prev
+}
+
+// Exchange delegates, then checks Condition 4 and records the new value.
+func (a *Auditor) Exchange(t *pmem.Thread, addr pmem.Addr, v uint64, pflag bool) uint64 {
+	prev := a.Inner.Exchange(t, addr, v, pflag)
+	a.check(t, "shared exchange")
+	if pflag {
+		a.record(t, addr, v)
+	}
+	return prev
+}
+
+// LoadPrivate delegates; private loads add no dependencies (their location
+// has no pending foreign p-store).
+func (a *Auditor) LoadPrivate(t *pmem.Thread, addr pmem.Addr, pflag bool) uint64 {
+	return a.Inner.LoadPrivate(t, addr, pflag)
+}
+
+// StorePrivate delegates and records p-stores (persisted immediately by
+// the inner policy, so the dependency discharges at the next check).
+func (a *Auditor) StorePrivate(t *pmem.Thread, addr pmem.Addr, v uint64, pflag bool) {
+	a.Inner.StorePrivate(t, addr, v, pflag)
+	if pflag {
+		a.record(t, addr, v)
+	}
+}
+
+// PersistObject delegates and records every covered word as a dependency:
+// the batched private p-stores must persist before the object is shared,
+// which the next checkpoint verifies.
+func (a *Auditor) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
+	a.Inner.PersistObject(t, base, n)
+	for i := 0; i < n; i++ {
+		addr := base + pmem.Addr(i)
+		a.record(t, addr, a.Mem.VolatileWord(addr))
+	}
+}
+
+// Complete delegates, then checks Condition 4 at operation completion.
+func (a *Auditor) Complete(t *pmem.Thread) {
+	a.Inner.Complete(t)
+	a.check(t, "operation completion")
+}

@@ -1,0 +1,117 @@
+package core
+
+import "flit/internal/pmem"
+
+// FliT is the paper's Algorithm 4 ("Flush if Tagged"). Every shared store
+// fences first (persisting the thread's dependencies — P-V Condition 4);
+// a p-store additionally tags its location's flit-counter, writes, flushes,
+// fences, and untags; a p-load flushes its location only while tagged.
+// This elides nearly every load-side flush: in steady state a location's
+// pending-store window is tiny, so loads almost never see a tag.
+type FliT struct {
+	// C places the flit-counters (adjacent, hashed, packed, per-line).
+	C CounterScheme
+}
+
+// NewFliT returns a FliT policy over the given counter placement.
+func NewFliT(c CounterScheme) *FliT { return &FliT{C: c} }
+
+// Name returns "flit/" plus the counter scheme name.
+func (f *FliT) Name() string { return f.C.Name() }
+
+// SupportsRMW reports true: FliT instruments any primitive, one of its
+// advantages over link-and-persist.
+func (f *FliT) SupportsRMW() bool { return true }
+
+// Load implements Algorithm 4's shared-load.
+func (f *FliT) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
+	t.CheckCrash()
+	v := t.Load(a)
+	if pflag && f.C.Tagged(t, a) {
+		t.PWB(a)
+	}
+	return v
+}
+
+// store is Algorithm 4's shared-store skeleton around one primitive.
+func (f *FliT) store(t *pmem.Thread, a pmem.Addr, pflag bool, apply func() bool) bool {
+	t.CheckCrash()
+	t.PFence() // dependencies persist before the store linearizes
+	if !pflag {
+		return apply()
+	}
+	f.C.Inc(t, a)
+	ok := apply()
+	if ok {
+		t.PWB(a)
+		t.PFence() // the new value is persisted before untagging
+	}
+	// On a failed CAS nothing was written: skip the flush, untag directly.
+	// Readers that raced the tag at worst flushed the old value (harmless,
+	// per the paper's safety argument for shared counters).
+	f.C.Dec(t, a)
+	return ok
+}
+
+// Store implements Algorithm 4's shared-store for a plain write.
+func (f *FliT) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
+	f.store(t, a, pflag, func() bool { t.Store(a, v); return true })
+}
+
+// CAS implements Algorithm 4's shared-store for compare-and-swap.
+func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
+	return f.store(t, a, pflag, func() bool { return t.CAS(a, old, new) })
+}
+
+// FAA implements Algorithm 4's shared-store for fetch-and-add.
+func (f *FliT) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
+	var prev uint64
+	f.store(t, a, pflag, func() bool { prev = t.FAA(a, delta); return true })
+	return prev
+}
+
+// Exchange implements Algorithm 4's shared-store for swap.
+func (f *FliT) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
+	var prev uint64
+	f.store(t, a, pflag, func() bool { prev = t.Exchange(a, v); return true })
+	return prev
+}
+
+// LoadPrivate implements Algorithm 4's private-load: no tag check — a
+// private location cannot have a pending p-store by another thread.
+func (f *FliT) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
+	t.CheckCrash()
+	return t.Load(a)
+}
+
+// StorePrivate implements Algorithm 4's private-store: no counter, no
+// leading fence; a p-store still flushes and fences before returning.
+func (f *FliT) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
+	t.CheckCrash()
+	t.Store(a, v)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
+}
+
+// PersistObject flushes the object's lines without fencing.
+func (f *FliT) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
+	t.CheckCrash()
+	persistObject(t, base, n)
+}
+
+// Complete implements operation_completion(): a fence persists every
+// dependency of the finished operation.
+func (f *FliT) Complete(t *pmem.Thread) {
+	t.CheckCrash()
+	t.PFence()
+}
+
+// persistObject issues one PWB per cache line covering [base, base+n).
+func persistObject(t *pmem.Thread, base pmem.Addr, n int) {
+	end := base + pmem.Addr(n)
+	for a := base; a < end; a = (a + pmem.WordsPerLine) &^ (pmem.WordsPerLine - 1) {
+		t.PWB(a)
+	}
+}

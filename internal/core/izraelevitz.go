@@ -1,0 +1,95 @@
+package core
+
+import "flit/internal/pmem"
+
+// Izraelevitz is the original durable-linearizability construction of
+// Izraelevitz et al. [DISC'16], as summarized in §3.1 of the FliT paper:
+// every load-acquire is accompanied by a pwb *and a pfence*, and every
+// store-release by a pwb and pfence. It is the strictest (and slowest)
+// baseline — unlike Plain, a p-load pays its fence immediately instead of
+// deferring it to the next store or operation completion.
+type Izraelevitz struct{}
+
+// Name returns "izraelevitz".
+func (Izraelevitz) Name() string { return "izraelevitz" }
+
+// SupportsRMW reports true.
+func (Izraelevitz) SupportsRMW() bool { return true }
+
+// Load flushes and fences on every p-load.
+func (Izraelevitz) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
+	t.CheckCrash()
+	v := t.Load(a)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
+	return v
+}
+
+func izStore(t *pmem.Thread, a pmem.Addr, pflag bool, apply func() bool) {
+	t.CheckCrash()
+	t.PFence()
+	if pflag {
+		if apply() {
+			t.PWB(a)
+			t.PFence()
+		}
+	} else {
+		apply()
+	}
+}
+
+// Store writes with flush+fence on p-stores.
+func (Izraelevitz) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
+	izStore(t, a, pflag, func() bool { t.Store(a, v); return true })
+}
+
+// CAS compare-and-swaps with flush+fence on successful p-CAS.
+func (Izraelevitz) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
+	var ok bool
+	izStore(t, a, pflag, func() bool { ok = t.CAS(a, old, new); return ok })
+	return ok
+}
+
+// FAA fetch-and-adds with flush+fence on p-FAA.
+func (Izraelevitz) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
+	var prev uint64
+	izStore(t, a, pflag, func() bool { prev = t.FAA(a, delta); return true })
+	return prev
+}
+
+// Exchange swaps with flush+fence on p-exchange.
+func (Izraelevitz) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
+	var prev uint64
+	izStore(t, a, pflag, func() bool { prev = t.Exchange(a, v); return true })
+	return prev
+}
+
+// LoadPrivate reads without flushing.
+func (Izraelevitz) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
+	t.CheckCrash()
+	return t.Load(a)
+}
+
+// StorePrivate writes, flushing+fencing p-stores.
+func (Izraelevitz) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
+	t.CheckCrash()
+	t.Store(a, v)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
+}
+
+// PersistObject flushes the object's lines without fencing.
+func (Izraelevitz) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
+	t.CheckCrash()
+	persistObject(t, base, n)
+}
+
+// Complete fences.
+func (Izraelevitz) Complete(t *pmem.Thread) {
+	t.CheckCrash()
+	t.PFence()
+}

@@ -1,0 +1,67 @@
+package core
+
+import "flit/internal/pmem"
+
+// Persist is the user-facing handle of the paper's Figure 1: the
+// persist<T> template, bound to one memory word, a policy, and a default
+// pflag. Declaring a variable this way is the "minimal code change" the
+// paper advertises — all accesses go through the library's
+// flit-instructions, and the default pflag makes the common call sites
+// argument-free (the C++ version's overloaded -> and = operators).
+//
+//	v := core.NewPersist(pol, addr, core.P) // flush_option::persisted
+//	v.Store(th, 42)                         // persisted store
+//	x := v.Load(th)                         // persisted load
+//	v.StoreFlag(th, 1, core.V)              // explicit override
+type Persist struct {
+	pol  Policy
+	addr pmem.Addr
+	def  bool
+}
+
+// NewPersist binds a persist variable at addr with a default pflag.
+func NewPersist(pol Policy, addr pmem.Addr, defaultPflag bool) Persist {
+	return Persist{pol: pol, addr: addr, def: defaultPflag}
+}
+
+// Addr returns the variable's location.
+func (p Persist) Addr() pmem.Addr { return p.addr }
+
+// Load reads with the default pflag.
+func (p Persist) Load(t *pmem.Thread) uint64 { return p.pol.Load(t, p.addr, p.def) }
+
+// LoadFlag reads with an explicit pflag.
+func (p Persist) LoadFlag(t *pmem.Thread, pflag bool) uint64 { return p.pol.Load(t, p.addr, pflag) }
+
+// Store writes with the default pflag.
+func (p Persist) Store(t *pmem.Thread, v uint64) { p.pol.Store(t, p.addr, v, p.def) }
+
+// StoreFlag writes with an explicit pflag.
+func (p Persist) StoreFlag(t *pmem.Thread, v uint64, pflag bool) {
+	p.pol.Store(t, p.addr, v, pflag)
+}
+
+// CAS compare-and-swaps with the default pflag.
+func (p Persist) CAS(t *pmem.Thread, old, new uint64) bool {
+	return p.pol.CAS(t, p.addr, old, new, p.def)
+}
+
+// CASFlag compare-and-swaps with an explicit pflag.
+func (p Persist) CASFlag(t *pmem.Thread, old, new uint64, pflag bool) bool {
+	return p.pol.CAS(t, p.addr, old, new, pflag)
+}
+
+// FAA fetch-and-adds with the default pflag (Figure 1 restricts FAA to
+// integer types; every simulated word is an integer).
+func (p Persist) FAA(t *pmem.Thread, delta uint64) uint64 {
+	return p.pol.FAA(t, p.addr, delta, p.def)
+}
+
+// Exchange swaps with the default pflag.
+func (p Persist) Exchange(t *pmem.Thread, v uint64) uint64 {
+	return p.pol.Exchange(t, p.addr, v, p.def)
+}
+
+// OperationCompletion is Figure 1's static operation_completion(): call at
+// the end of every data structure operation.
+func (p Persist) OperationCompletion(t *pmem.Thread) { p.pol.Complete(t) }

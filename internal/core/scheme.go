@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flit/internal/pmem"
+)
+
+// CounterScheme assigns a flit-counter to each memory location (§5.1 of
+// the paper). Counters live in volatile memory: their contents are
+// meaningless after a crash (new processes are spawned), and sharing one
+// counter among many locations is safe — it can only cause extra flushes,
+// never missed ones.
+type CounterScheme interface {
+	// Inc tags location a: a p-store on a is pending.
+	Inc(t *pmem.Thread, a pmem.Addr)
+	// Dec untags location a after the pending p-store persisted.
+	Dec(t *pmem.Thread, a pmem.Addr)
+	// Tagged reports whether a p-store on a may still be un-persisted.
+	Tagged(t *pmem.Thread, a pmem.Addr) bool
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// AdjacentStride is the field stride data structures use with the Adjacent
+// scheme: every persisted word is followed by its counter word, doubling
+// object size — the layout cost §6.6 observes on the skiplist.
+const AdjacentStride = 2
+
+// Adjacent places each flit-counter in the word immediately after its data
+// word (the "flit-adjacent" variant). Counter accesses therefore hit the
+// same cache line as the data — free when the line is hot, but subject to
+// the clwb-invalidation miss on the decrement, the effect behind the extra
+// flushes in Figure 9.
+//
+// The counter word lives in simulated pmem but is never flushed; its
+// post-crash content is irrelevant (a stale non-zero counter merely causes
+// spurious flushes, per Lemma 5.1's safety argument).
+type Adjacent struct{}
+
+// Inc increments the counter word at a+1.
+func (Adjacent) Inc(t *pmem.Thread, a pmem.Addr) { t.FAA(a+1, 1) }
+
+// Dec decrements the counter word at a+1.
+func (Adjacent) Dec(t *pmem.Thread, a pmem.Addr) { t.FAA(a+1, ^uint64(0)) }
+
+// Tagged reports whether the counter word at a+1 is non-zero.
+func (Adjacent) Tagged(t *pmem.Thread, a pmem.Addr) bool { return t.Load(a+1) != 0 }
+
+// Name returns "flit-adjacent".
+func (Adjacent) Name() string { return "flit-adjacent" }
+
+// hashAddr spreads addresses over table indices (Fibonacci hashing).
+func hashAddr(a pmem.Addr, shift uint) uint64 {
+	return (uint64(a) * 0x9E3779B97F4A7C15) >> shift
+}
+
+// HashTable is the "flit-HT" variant: a fixed-size table of word-wide
+// counters indexed by a hash of the address. Different locations may share
+// a counter (extra flushes at worst); distinct counters in the same real
+// cache line may false-share (the coherence-miss collapse the paper shows
+// for a 4 KB table at ≥5% updates).
+type HashTable struct {
+	counters []uint64
+	shift    uint
+	bytes    int
+}
+
+// NewHashTable builds a table of the given size in bytes (rounded up to a
+// power of two; one 8-byte counter per entry).
+func NewHashTable(bytes int) *HashTable {
+	if bytes < 64 {
+		bytes = 64
+	}
+	entries := 1
+	for entries < bytes/8 {
+		entries <<= 1
+	}
+	h := &HashTable{counters: make([]uint64, entries), bytes: entries * 8}
+	h.shift = 64
+	for e := entries; e > 1; e >>= 1 {
+		h.shift--
+	}
+	return h
+}
+
+func (h *HashTable) slot(a pmem.Addr) *uint64 { return &h.counters[hashAddr(a, h.shift)] }
+
+// Inc increments a's hashed counter.
+func (h *HashTable) Inc(t *pmem.Thread, a pmem.Addr) { atomic.AddUint64(h.slot(a), 1) }
+
+// Dec decrements a's hashed counter.
+func (h *HashTable) Dec(t *pmem.Thread, a pmem.Addr) { atomic.AddUint64(h.slot(a), ^uint64(0)) }
+
+// Tagged reports whether a's hashed counter is non-zero.
+func (h *HashTable) Tagged(t *pmem.Thread, a pmem.Addr) bool {
+	return atomic.LoadUint64(h.slot(a)) != 0
+}
+
+// Name returns e.g. "flit-HT(1MB)".
+func (h *HashTable) Name() string { return fmt.Sprintf("flit-HT(%s)", fmtBytes(h.bytes)) }
+
+// PackedHashTable squeezes eight 8-bit flit-counters into each table word
+// (§5.1's compaction): 8x the counters per byte, at the cost of more false
+// sharing. Eight bits cannot overflow — a counter's value never exceeds
+// the number of threads, and machines with >255 simultaneous incrementers
+// of one counter are outside the paper's (and this module's) scope.
+type PackedHashTable struct {
+	words []uint64
+	shift uint
+	bytes int
+}
+
+// NewPackedHashTable builds a packed table of the given size in bytes
+// (rounded up to a power of two; one byte per counter).
+func NewPackedHashTable(bytes int) *PackedHashTable {
+	if bytes < 64 {
+		bytes = 64
+	}
+	n := 1
+	for n < bytes {
+		n <<= 1
+	}
+	h := &PackedHashTable{words: make([]uint64, n/8), bytes: n}
+	h.shift = 64
+	for e := n; e > 1; e >>= 1 {
+		h.shift--
+	}
+	return h
+}
+
+func (h *PackedHashTable) locate(a pmem.Addr) (*uint64, uint) {
+	idx := hashAddr(a, h.shift) // byte index in [0, bytes)
+	return &h.words[idx/8], uint(idx%8) * 8
+}
+
+// add replaces the target byte with (byte+delta) mod 256 under a CAS loop.
+// A plain 64-bit add would carry out of the byte and corrupt the neighbor
+// counter — the masked replace keeps each byte independent.
+func (h *PackedHashTable) add(a pmem.Addr, delta uint64) {
+	w, sh := h.locate(a)
+	for {
+		old := atomic.LoadUint64(w)
+		b := (old >> sh) & 0xFF
+		nw := (old &^ (0xFF << sh)) | (((b + delta) & 0xFF) << sh)
+		if atomic.CompareAndSwapUint64(w, old, nw) {
+			return
+		}
+	}
+}
+
+// Inc increments a's packed byte counter.
+func (h *PackedHashTable) Inc(t *pmem.Thread, a pmem.Addr) { h.add(a, 1) }
+
+// Dec decrements a's packed byte counter.
+func (h *PackedHashTable) Dec(t *pmem.Thread, a pmem.Addr) { h.add(a, 0xFF) /* -1 mod 256 */ }
+
+// Tagged reports whether a's packed byte counter is non-zero.
+func (h *PackedHashTable) Tagged(t *pmem.Thread, a pmem.Addr) bool {
+	w, sh := h.locate(a)
+	return (atomic.LoadUint64(w)>>sh)&0xFF != 0
+}
+
+// Name returns e.g. "flit-packed(4KB)".
+func (h *PackedHashTable) Name() string { return fmt.Sprintf("flit-packed(%s)", fmtBytes(h.bytes)) }
+
+// DirectMap assigns one counter per simulated cache line — the counter
+// granularity the paper's conclusion proposes as future work. No hash
+// collisions; words on the same line share a counter, so a pending p-store
+// tags its whole line.
+type DirectMap struct {
+	counters []uint64
+}
+
+// NewDirectMap builds a per-line counter array covering a memory of the
+// given word capacity.
+func NewDirectMap(memWords int) *DirectMap {
+	return &DirectMap{counters: make([]uint64, (memWords+pmem.WordsPerLine-1)/pmem.WordsPerLine)}
+}
+
+func (d *DirectMap) slot(a pmem.Addr) *uint64 { return &d.counters[pmem.LineOf(a)] }
+
+// Inc increments the line counter of a.
+func (d *DirectMap) Inc(t *pmem.Thread, a pmem.Addr) { atomic.AddUint64(d.slot(a), 1) }
+
+// Dec decrements the line counter of a.
+func (d *DirectMap) Dec(t *pmem.Thread, a pmem.Addr) { atomic.AddUint64(d.slot(a), ^uint64(0)) }
+
+// Tagged reports whether the line counter of a is non-zero.
+func (d *DirectMap) Tagged(t *pmem.Thread, a pmem.Addr) bool {
+	return atomic.LoadUint64(d.slot(a)) != 0
+}
+
+// Name returns "flit-perline".
+func (d *DirectMap) Name() string { return "flit-perline" }
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,129 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+// policies under crash test. DirectMap is covered in dstest; here we focus
+// on the schemes with distinct persistence-ordering behaviour.
+func policies(memWords int, withLAP bool) []core.Policy {
+	ps := []core.Policy{
+		core.NewFliT(core.NewHashTable(1 << 14)),
+		core.NewFliT(core.Adjacent{}),
+		core.Plain{},
+		core.Izraelevitz{},
+	}
+	if withLAP {
+		ps = append(ps, core.LinkAndPersist{})
+	}
+	return ps
+}
+
+func mkConfig(pol core.Policy, mode dstruct.Mode, words int) dstruct.Config {
+	mc := pmem.DefaultConfig(words)
+	mc.PWBCost, mc.PFenceCost, mc.PFenceEntryCost = 0, 0, 0
+	return dstruct.Config{
+		Heap: pheap.New(pmem.New(mc)), Policy: pol, Mode: mode,
+		RootSlot: 0, Stride: dstruct.StrideFor(pol),
+	}
+}
+
+// TestDurableLinearizability is the central correctness experiment: every
+// structure × durability mode × policy × crash mode, across seeds, must
+// produce a recovered state explainable by some linearization.
+func TestDurableLinearizability(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	crashModes := []pmem.CrashMode{pmem.DropUnfenced, pmem.RandomSubset, pmem.PersistAll}
+	for _, target := range Targets() {
+		for _, mode := range dstruct.Modes {
+			for _, pol := range policies(1<<20, target.WithLAP) {
+				name := fmt.Sprintf("%s/%s/%s", target.Name, mode, pol.Name())
+				t.Run(name, func(t *testing.T) {
+					for _, cm := range crashModes {
+						for _, seed := range seeds {
+							cfg := mkConfig(pol, mode, 1<<20)
+							v, rec := Run(cfg, target, DefaultOptions(seed, cm))
+							if v != nil {
+								t.Fatalf("crash mode %v seed %d: %v", cm, seed, v)
+							}
+							// The recovered structure must remain usable.
+							th := rec.Set.NewThread()
+							if !th.Insert(9999, 1) || !th.Contains(9999) || !th.Delete(9999) {
+								t.Fatalf("crash mode %v seed %d: recovered set inoperable", cm, seed)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// brokenPolicy downgrades every instruction to a v-instruction: stores are
+// never flushed, so completed inserts evaporate in the crash image. The
+// checker must catch it — this validates that the whole crash-test
+// apparatus has teeth.
+type brokenPolicy struct{ core.Policy }
+
+func (b brokenPolicy) Name() string { return "broken" }
+func (b brokenPolicy) Load(t *pmem.Thread, a pmem.Addr, p bool) uint64 {
+	return b.Policy.Load(t, a, false)
+}
+func (b brokenPolicy) Store(t *pmem.Thread, a pmem.Addr, v uint64, p bool) {
+	b.Policy.Store(t, a, v, false)
+}
+func (b brokenPolicy) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, p bool) bool {
+	return b.Policy.CAS(t, a, old, new, false)
+}
+func (b brokenPolicy) FAA(t *pmem.Thread, a pmem.Addr, d uint64, p bool) uint64 {
+	return b.Policy.FAA(t, a, d, false)
+}
+func (b brokenPolicy) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, p bool) uint64 {
+	return b.Policy.Exchange(t, a, v, false)
+}
+func (b brokenPolicy) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, p bool) {
+	b.Policy.StorePrivate(t, a, v, false)
+}
+func (b brokenPolicy) PersistObject(t *pmem.Thread, a pmem.Addr, n int) {}
+
+func TestBrokenPolicyIsCaught(t *testing.T) {
+	// Under DropUnfenced, a policy that never persists must be detected:
+	// the prefilled completed inserts cannot survive.
+	for _, target := range Targets() {
+		t.Run(target.Name, func(t *testing.T) {
+			caught := false
+			for seed := int64(1); seed <= 4 && !caught; seed++ {
+				cfg := mkConfig(brokenPolicy{core.NewFliT(core.NewHashTable(1 << 14))},
+					dstruct.Automatic, 1<<20)
+				v, _ := Run(cfg, target, DefaultOptions(seed, pmem.DropUnfenced))
+				caught = v != nil
+			}
+			if !caught {
+				t.Fatal("broken policy passed the checker — the crash harness has no teeth")
+			}
+		})
+	}
+}
+
+// TestPersistAllAlwaysCleanRecovers: under eADR-like semantics everything
+// volatile persists, so even the NoPersist policy must recover exactly.
+func TestPersistAllAlwaysCleanRecovers(t *testing.T) {
+	for _, target := range Targets() {
+		t.Run(target.Name, func(t *testing.T) {
+			cfg := mkConfig(core.NoPersist{}, dstruct.Automatic, 1<<20)
+			v, _ := Run(cfg, target, DefaultOptions(77, pmem.PersistAll))
+			if v != nil {
+				t.Fatalf("PersistAll violated: %v", v)
+			}
+		})
+	}
+}

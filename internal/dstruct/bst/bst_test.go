@@ -1,0 +1,129 @@
+package bst
+
+import (
+	"testing"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/dstest"
+)
+
+func factory(cfg dstruct.Config) dstest.Instance {
+	b := New(cfg)
+	return dstest.Instance{Set: b, Cfg: cfg, Snapshot: b.Snapshot}
+}
+
+func recoverer(cfg dstruct.Config) dstest.Instance {
+	b := Recover(cfg)
+	return dstest.Instance{Set: b, Cfg: cfg, Snapshot: b.Snapshot}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<20, false) {
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.SequentialModel(t, cfg, factory, 96, 4000)
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<22, false) {
+		if cfg.Policy.Name() != "flit-HT(64KB)" {
+			continue
+		}
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.ConcurrentStress(t, cfg, factory, 64, 4, 4000)
+		})
+	}
+}
+
+func TestCleanRecovery(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<20, false) {
+		if cfg.Policy.Name() == "no-persist" {
+			continue
+		}
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.CleanRecovery(t, cfg, factory, recoverer, 300)
+		})
+	}
+}
+
+func TestLinkAndPersistRejected(t *testing.T) {
+	cfg := dstest.Configs(1<<16, false)[0]
+	cfg.Policy = core.LinkAndPersist{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BST accepted link-and-persist; the paper reports it inapplicable")
+		}
+	}()
+	New(cfg)
+}
+
+func TestGet(t *testing.T) {
+	cfg := dstest.Configs(1<<18, false)[0]
+	b := New(cfg)
+	th := b.newThread()
+	th.Insert(10, 100)
+	th.Insert(20, 200)
+	if v, ok := th.Get(10); !ok || v != 100 {
+		t.Fatalf("Get(10) = (%d,%v), want (100,true)", v, ok)
+	}
+	if _, ok := th.Get(15); ok {
+		t.Fatal("Get(15) found a missing key")
+	}
+	th.Delete(10)
+	if _, ok := th.Get(10); ok {
+		t.Fatal("Get(10) found a deleted key")
+	}
+}
+
+// TestExternalTreeInvariants checks BST ordering and external-tree shape
+// after churn: every internal node has two children; leaves partition the
+// key space by the internal keys.
+func TestExternalTreeInvariants(t *testing.T) {
+	cfg := dstest.Configs(1<<20, false)[0]
+	b := New(cfg)
+	th := b.newThread()
+	for i := 0; i < 3000; i++ {
+		k := uint64((i * 37) % 500)
+		if i%3 == 0 {
+			th.Delete(k)
+		} else {
+			th.Insert(k, k)
+		}
+	}
+	mem := cfg.Heap.Mem()
+	var walk func(n uint64, lo, hi uint64)
+	walk = func(raw uint64, lo, hi uint64) {
+		n := dstruct.Ptr(raw)
+		if n == 0 {
+			t.Fatal("nil child of internal node (external tree violated)")
+		}
+		k := mem.VolatileWord(cfg.Field(n, fKey))
+		if k < lo || k > hi {
+			t.Fatalf("key %d outside [%d,%d]", k, lo, hi)
+		}
+		l := mem.VolatileWord(cfg.Field(n, fLeft))
+		r := mem.VolatileWord(cfg.Field(n, fRight))
+		lp, rp := dstruct.Ptr(l), dstruct.Ptr(r)
+		if (lp == 0) != (rp == 0) {
+			t.Fatalf("internal node %d with exactly one child", n)
+		}
+		if lp != 0 {
+			if k == 0 {
+				t.Fatal("internal key 0 cannot split")
+			}
+			walk(l, lo, k-1)
+			walk(r, k, hi)
+		}
+	}
+	walk(uint64(b.r), 0, inf2)
+}
+
+func TestRepeatedCrashes(t *testing.T) {
+	cfg := dstest.Configs(1<<22, false)[0]
+	dstest.RepeatedCrashes(t, cfg, factory, recoverer, 4)
+}

@@ -1,0 +1,143 @@
+// Package hashtable implements the paper's fourth benchmark structure: a
+// fixed-size hash table whose buckets are Harris linked lists. All list
+// mechanics (marking, unlinking, durability transitions) are inherited
+// from the list package; this package adds the persistent bucket array.
+package hashtable
+
+import (
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/list"
+	"flit/internal/pmem"
+)
+
+// Header field indices: field 0 holds the bucket count; bucket i's head
+// link is field 1+i. The whole header is persisted at construction and
+// never modified afterwards.
+const fCount = 0
+
+// Table is a durable lock-free hash table.
+type Table struct {
+	cfg     dstruct.Config
+	l       *list.List
+	base    pmem.Addr
+	buckets uint64
+	shift   uint
+}
+
+// New creates a table with the given bucket count (rounded up to a power
+// of two), anchored at cfg's root slot.
+func New(cfg dstruct.Config, buckets int) *Table {
+	b := 1
+	for b < buckets {
+		b <<= 1
+	}
+	t := cfg.Heap.Mem().RegisterThread()
+	ar := cfg.Heap.NewArena()
+	base := ar.Alloc(cfg.Words(1 + b))
+	pol := cfg.Policy
+	pol.StorePrivate(t, cfg.Field(base, fCount), uint64(b), core.V)
+	for i := 0; i < b; i++ {
+		pol.StorePrivate(t, cfg.Field(base, 1+i), 0, core.V)
+	}
+	pol.PersistObject(t, base, cfg.Words(1+b))
+	// Publishing the header is a shared p-store: its leading fence orders
+	// the header contents before the root points at them.
+	pol.Store(t, cfg.Root(), uint64(base), core.P)
+	pol.Complete(t)
+	return attach(cfg, base, uint64(b))
+}
+
+// Attach wraps the table persisted at cfg's root slot (e.g. in recovered
+// memory) without modifying it.
+func Attach(cfg dstruct.Config) *Table {
+	mem := cfg.Heap.Mem()
+	base := dstruct.Ptr(mem.VolatileWord(cfg.Root()))
+	b := mem.VolatileWord(cfg.Field(base, fCount))
+	return attach(cfg, base, b)
+}
+
+func attach(cfg dstruct.Config, base pmem.Addr, b uint64) *Table {
+	t := &Table{cfg: cfg, l: list.Attach(cfg), base: base, buckets: b}
+	t.shift = 64
+	for e := b; e > 1; e >>= 1 {
+		t.shift--
+	}
+	return t
+}
+
+// Name returns "hashtable".
+func (t *Table) Name() string { return "hashtable" }
+
+// Buckets returns the bucket count.
+func (t *Table) Buckets() int { return int(t.buckets) }
+
+// bucketHead returns the address of the bucket link word for key.
+func (t *Table) bucketHead(key uint64) pmem.Addr {
+	h := (key * 0x9E3779B97F4A7C15) >> t.shift
+	return t.cfg.Field(t.base, 1+int(h))
+}
+
+// Thread is a per-goroutine handle to the table.
+type Thread struct {
+	t  *Table
+	lt *list.Thread
+}
+
+// NewThread creates a per-goroutine handle.
+func (t *Table) NewThread() dstruct.SetThread { return t.newThread() }
+
+func (t *Table) newThread() *Thread {
+	return &Thread{t: t, lt: t.l.NewThread().(*list.Thread)}
+}
+
+// Ctx exposes the thread's execution context (stats, crash injection).
+func (th *Thread) Ctx() dstruct.Ctx { return th.lt.Ctx() }
+
+// Insert adds key→val if absent.
+func (th *Thread) Insert(key, val uint64) bool {
+	return th.lt.InsertAt(th.t.bucketHead(key), key, val)
+}
+
+// Delete removes key if present.
+func (th *Thread) Delete(key uint64) bool {
+	return th.lt.DeleteAt(th.t.bucketHead(key), key)
+}
+
+// Contains reports whether key is present.
+func (th *Thread) Contains(key uint64) bool {
+	return th.lt.ContainsAt(th.t.bucketHead(key), key)
+}
+
+// Get returns the value stored under key, if present.
+func (th *Thread) Get(key uint64) (uint64, bool) {
+	return th.lt.GetAt(th.t.bucketHead(key), key)
+}
+
+// Snapshot reads all unmarked pairs (test helper; callers quiescent).
+func (t *Table) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for i := 0; i < int(t.buckets); i++ {
+		for k, v := range t.l.SnapshotAt(t.cfg.Field(t.base, 1+i)) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Recover rebuilds a durably consistent table from the structure persisted
+// at cfg's root slot. The bucket array itself survives as-is (it is
+// immutable after construction); each bucket chain is gathered and
+// re-laid-out clean, like list recovery.
+func Recover(cfg dstruct.Config) *Table {
+	tbl := Attach(cfg)
+	t := cfg.Heap.Mem().RegisterThread()
+	ar := cfg.Heap.NewArena()
+	for i := 0; i < int(tbl.buckets); i++ {
+		head := cfg.Field(tbl.base, 1+i)
+		pairs := list.GatherAt(&cfg, head)
+		list.RebuildAt(&cfg, t, ar, head, pairs)
+	}
+	t.PFence()
+	return tbl
+}

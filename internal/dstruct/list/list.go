@@ -1,0 +1,304 @@
+// Package list implements Harris's lock-free linked list [DISC'01], the
+// first of the paper's four benchmark structures (and the building block
+// of its hash table). Logical deletion sets the Harris mark bit in a
+// node's next pointer; traversals physically unlink marked nodes.
+//
+// Persistence is delegated entirely to the configured core.Policy and
+// durability Mode: Automatic issues every access as a p-instruction;
+// NVTraverse and Manual traverse with v-loads and re-examine the decisive
+// links with p-loads at the traversal/critical transition. Unlink CASes
+// are p-instructions in every mode: a node is retired to the reclamation
+// domain right after it is unlinked, so the unlink must be persistent
+// before the node's memory can be reused (otherwise the persistent image
+// could point into recycled memory).
+package list
+
+import (
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/pmem"
+	"flit/internal/reclaim"
+)
+
+// Node field indices (multiplied by the configured stride).
+const (
+	fKey  = 0
+	fVal  = 1
+	fNext = 2
+	// NumFields is the number of persisted fields per node.
+	NumFields = 3
+)
+
+// List is a durable lock-free sorted linked list (a set of key→value
+// pairs). The root slot word holds the pointer to the first node; there
+// are no sentinel nodes.
+type List struct {
+	cfg dstruct.Config
+	dom *reclaim.Domain
+}
+
+// New creates an empty list anchored at cfg's root slot. The root word is
+// initialized durably so that recovery after an immediate crash finds an
+// empty, not garbage, structure.
+func New(cfg dstruct.Config) *List {
+	l := &List{cfg: cfg, dom: reclaim.NewDomain()}
+	t := cfg.Heap.Mem().RegisterThread()
+	cfg.Policy.StorePrivate(t, cfg.Root(), 0, core.P)
+	return l
+}
+
+// Attach wraps an existing structure (e.g. one found in recovered memory)
+// without touching the root.
+func Attach(cfg dstruct.Config) *List {
+	return &List{cfg: cfg, dom: reclaim.NewDomain()}
+}
+
+// Name returns "list".
+func (l *List) Name() string { return "list" }
+
+// Thread is a per-goroutine handle to the list.
+type Thread struct {
+	l *List
+	c dstruct.Ctx
+}
+
+// NewThread creates a per-goroutine handle.
+func (l *List) NewThread() dstruct.SetThread { return l.newThread() }
+
+func (l *List) newThread() *Thread {
+	return &Thread{l: l, c: l.cfg.NewCtx(l.dom)}
+}
+
+// Ctx exposes the thread's execution context (stats, crash injection).
+func (t *Thread) Ctx() dstruct.Ctx { return t.c }
+
+// travP reports whether traversal loads are p-instructions (Automatic) or
+// v-instructions (NVTraverse, Manual).
+func (l *List) travP() bool { return l.cfg.Mode == dstruct.Automatic }
+
+// find locates the first node with key >= key, physically unlinking any
+// marked node it passes (Harris's helping). It returns the address of the
+// link word pointing at curr (predLink), curr itself (0 if none), and
+// curr's key.
+func (t *Thread) find(head pmem.Addr, key uint64) (predLink pmem.Addr, curr pmem.Addr, curKey uint64) {
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	travP := t.l.travP()
+retry:
+	predLink = head
+	curr = dstruct.Ptr(pol.Load(t.c.T, predLink, travP))
+	for curr != pmem.NilAddr {
+		nextRaw := pol.Load(t.c.T, cfg.Field(curr, fNext), travP)
+		if dstruct.Marked(nextRaw) {
+			// curr is logically deleted: unlink it. The unlink is a
+			// p-instruction in every mode — curr is retired immediately
+			// after, so its unreachability must persist before reuse.
+			succ := dstruct.Ptr(nextRaw)
+			if !pol.CAS(t.c.T, predLink, uint64(curr), uint64(succ), core.P) {
+				goto retry
+			}
+			t.c.H.Retire(curr, cfg.Words(NumFields))
+			curr = succ
+			continue
+		}
+		k := pol.Load(t.c.T, cfg.Field(curr, fKey), travP)
+		if k >= key {
+			return predLink, curr, k
+		}
+		predLink = cfg.Field(curr, fNext)
+		curr = dstruct.Ptr(nextRaw)
+	}
+	return predLink, pmem.NilAddr, 0
+}
+
+// transition re-examines a link with a p-load at the traversal/critical
+// boundary (NVTraverse's transition; Manual needs the same flush on the
+// links its return value depends on). Under Automatic it is redundant and
+// skipped — every load already was a p-load.
+func (t *Thread) transition(a pmem.Addr) {
+	if t.l.cfg.Mode != dstruct.Automatic {
+		t.l.cfg.Policy.Load(t.c.T, a, core.P)
+	}
+}
+
+// initNode writes a fresh node's fields. Automatic mode cannot know the
+// node is still private — the C++ library instruments every persist<>
+// access identically — so each field is a shared p-store. The optimized
+// modes use private v-stores plus one batched write-back per line, fenced
+// implicitly by the leading fence of the linking p-CAS.
+func (t *Thread) initNode(node pmem.Addr, key, val uint64, nextRaw uint64) {
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	if cfg.Mode == dstruct.Automatic {
+		pol.Store(t.c.T, cfg.Field(node, fKey), key, core.P)
+		pol.Store(t.c.T, cfg.Field(node, fVal), val, core.P)
+		pol.Store(t.c.T, cfg.Field(node, fNext), nextRaw, core.P)
+		return
+	}
+	pol.StorePrivate(t.c.T, cfg.Field(node, fKey), key, core.V)
+	pol.StorePrivate(t.c.T, cfg.Field(node, fVal), val, core.V)
+	pol.StorePrivate(t.c.T, cfg.Field(node, fNext), nextRaw, core.V)
+	pol.PersistObject(t.c.T, node, cfg.Words(NumFields))
+}
+
+// Insert adds key→val if absent.
+func (t *Thread) Insert(key, val uint64) bool { return t.InsertAt(t.l.cfg.Root(), key, val) }
+
+// InsertAt runs Insert on the chain rooted at the link word head — the
+// entry point the hash table uses for its buckets.
+func (t *Thread) InsertAt(head pmem.Addr, key, val uint64) bool {
+	if key >= dstruct.KeyMax {
+		panic("list: key out of range")
+	}
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	t.c.H.Enter()
+	for {
+		predLink, curr, curKey := t.find(head, key)
+		if curr != pmem.NilAddr && curKey == key {
+			// Present: the response depends on the link that proves it.
+			t.transition(predLink)
+			pol.Complete(t.c.T)
+			t.c.H.Exit()
+			return false
+		}
+		t.transition(predLink)
+		node := t.c.Ar.Alloc(cfg.Words(NumFields))
+		t.initNode(node, key, val, uint64(curr))
+		if pol.CAS(t.c.T, predLink, uint64(curr), uint64(node), core.P) {
+			pol.Complete(t.c.T)
+			t.c.H.Exit()
+			return true
+		}
+		// Lost the race; the node was never shared, reuse it directly.
+		t.c.Ar.Free(node, cfg.Words(NumFields))
+	}
+}
+
+// Delete removes key if present. The marking CAS is the linearization
+// point and is persisted in every mode; the physical unlink is also
+// persisted (see package comment) but its failure is benign — find() of
+// any later operation finishes the job.
+func (t *Thread) Delete(key uint64) bool { return t.DeleteAt(t.l.cfg.Root(), key) }
+
+// DeleteAt runs Delete on the chain rooted at head.
+func (t *Thread) DeleteAt(head pmem.Addr, key uint64) bool {
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	t.c.H.Enter()
+	for {
+		predLink, curr, curKey := t.find(head, key)
+		if curr == pmem.NilAddr || curKey != key {
+			t.transition(predLink)
+			pol.Complete(t.c.T)
+			t.c.H.Exit()
+			return false
+		}
+		nextAddr := cfg.Field(curr, fNext)
+		// The mark depends on curr being reachable: flush the incoming
+		// link if a concurrent insert's p-store is still pending.
+		t.transition(predLink)
+		nextRaw := pol.Load(t.c.T, nextAddr, t.l.travP())
+		if dstruct.Marked(nextRaw) {
+			continue // someone else is deleting it; re-find helps unlink
+		}
+		if !pol.CAS(t.c.T, nextAddr, nextRaw, nextRaw|core.MarkBit, core.P) {
+			continue
+		}
+		// Physical unlink; on failure a traversal will help.
+		if pol.CAS(t.c.T, predLink, uint64(curr), nextRaw, core.P) {
+			t.c.H.Retire(curr, cfg.Words(NumFields))
+		} else {
+			t.find(head, key)
+		}
+		pol.Complete(t.c.T)
+		t.c.H.Exit()
+		return true
+	}
+}
+
+// Contains reports whether key is present. Read-only: it skips marked
+// nodes without unlinking.
+func (t *Thread) Contains(key uint64) bool { return t.ContainsAt(t.l.cfg.Root(), key) }
+
+// ContainsAt runs Contains on the chain rooted at head.
+func (t *Thread) ContainsAt(head pmem.Addr, key uint64) bool {
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	travP := t.l.travP()
+	t.c.H.Enter()
+	predLink := head
+	curr := dstruct.Ptr(pol.Load(t.c.T, predLink, travP))
+	var nextRaw uint64
+	for curr != pmem.NilAddr {
+		nextRaw = pol.Load(t.c.T, cfg.Field(curr, fNext), travP)
+		k := pol.Load(t.c.T, cfg.Field(curr, fKey), travP)
+		if k >= key {
+			if k == key && !dstruct.Marked(nextRaw) {
+				// Present: the response depends on the link to curr and on
+				// curr's unmarked next word.
+				t.transition(predLink)
+				t.transition(cfg.Field(curr, fNext))
+				pol.Complete(t.c.T)
+				t.c.H.Exit()
+				return true
+			}
+			break
+		}
+		predLink = cfg.Field(curr, fNext)
+		curr = dstruct.Ptr(nextRaw)
+	}
+	// Absent: the response depends on the link proving absence.
+	t.transition(predLink)
+	pol.Complete(t.c.T)
+	t.c.H.Exit()
+	return false
+}
+
+// Get returns the value stored under key, if present.
+func (t *Thread) Get(key uint64) (uint64, bool) { return t.GetAt(t.l.cfg.Root(), key) }
+
+// GetAt runs Get on the chain rooted at head.
+func (t *Thread) GetAt(head pmem.Addr, key uint64) (uint64, bool) {
+	cfg := &t.l.cfg
+	pol := cfg.Policy
+	travP := t.l.travP()
+	t.c.H.Enter()
+	defer t.c.H.Exit()
+	curr := dstruct.Ptr(pol.Load(t.c.T, head, travP))
+	for curr != pmem.NilAddr {
+		nextRaw := pol.Load(t.c.T, cfg.Field(curr, fNext), travP)
+		k := pol.Load(t.c.T, cfg.Field(curr, fKey), travP)
+		if k == key && !dstruct.Marked(nextRaw) {
+			v := pol.Load(t.c.T, cfg.Field(curr, fVal), travP)
+			t.transition(cfg.Field(curr, fNext))
+			pol.Complete(t.c.T)
+			return v, true
+		}
+		if k > key {
+			break
+		}
+		curr = dstruct.Ptr(nextRaw)
+	}
+	pol.Complete(t.c.T)
+	return 0, false
+}
+
+// Snapshot returns the unmarked key→value pairs in order, reading the
+// volatile state directly (test helper; callers must be quiescent).
+func (l *List) Snapshot() map[uint64]uint64 { return l.SnapshotAt(l.cfg.Root()) }
+
+// SnapshotAt reads the chain rooted at head (test helper).
+func (l *List) SnapshotAt(head pmem.Addr) map[uint64]uint64 {
+	mem := l.cfg.Heap.Mem()
+	out := make(map[uint64]uint64)
+	curr := dstruct.Ptr(mem.VolatileWord(head))
+	for curr != pmem.NilAddr {
+		nextRaw := mem.VolatileWord(l.cfg.Field(curr, fNext))
+		if !dstruct.Marked(nextRaw) {
+			out[mem.VolatileWord(l.cfg.Field(curr, fKey))] = mem.VolatileWord(l.cfg.Field(curr, fVal))
+		}
+		curr = dstruct.Ptr(nextRaw)
+	}
+	return out
+}

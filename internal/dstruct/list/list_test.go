@@ -1,0 +1,284 @@
+package list
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/dstest"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+// configs returns one list config per (policy, mode) combination worth
+// unit-testing, each over a fresh heap.
+func configs(words int) []dstruct.Config {
+	var out []dstruct.Config
+	policies := []core.Policy{
+		core.NewFliT(core.NewHashTable(1 << 16)),
+		core.NewFliT(core.Adjacent{}),
+		core.NewFliT(core.NewPackedHashTable(1 << 12)),
+		core.NewFliT(core.NewDirectMap(words)),
+		core.Plain{},
+		core.LinkAndPersist{},
+		core.NoPersist{},
+	}
+	for _, pol := range policies {
+		for _, mode := range dstruct.Modes {
+			cfg := pmem.DefaultConfig(words)
+			cfg.PWBCost, cfg.PFenceCost, cfg.PFenceEntryCost = 0, 0, 0
+			h := pheap.New(pmem.New(cfg))
+			out = append(out, dstruct.Config{
+				Heap: h, Policy: pol, Mode: mode, RootSlot: 0, Stride: dstruct.StrideFor(pol),
+			})
+		}
+	}
+	return out
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	for _, cfg := range configs(1 << 18) {
+		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
+			l := New(cfg)
+			th := l.newThread()
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 4000; i++ {
+				k := uint64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					v := uint64(i)
+					_, inModel := model[k]
+					if got := th.Insert(k, v); got != !inModel {
+						t.Fatalf("op %d: Insert(%d) = %v, model says %v", i, k, got, !inModel)
+					}
+					if !inModel {
+						model[k] = v
+					}
+				case 1:
+					_, inModel := model[k]
+					if got := th.Delete(k); got != inModel {
+						t.Fatalf("op %d: Delete(%d) = %v, model says %v", i, k, got, inModel)
+					}
+					delete(model, k)
+				case 2:
+					_, inModel := model[k]
+					if got := th.Contains(k); got != inModel {
+						t.Fatalf("op %d: Contains(%d) = %v, model says %v", i, k, got, inModel)
+					}
+					if v, ok := th.Get(k); ok != inModel || (ok && v != model[k]) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), model (%d,%v)", i, k, v, ok, model[k], inModel)
+					}
+				}
+			}
+			snap := l.Snapshot()
+			if len(snap) != len(model) {
+				t.Fatalf("snapshot has %d keys, model %d", len(snap), len(model))
+			}
+			for k, v := range model {
+				if snap[k] != v {
+					t.Fatalf("snapshot[%d] = %d, want %d", k, snap[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// One flit config and link-and-persist, all modes, hammered by 4
+	// goroutines on a small key range to maximize contention.
+	for _, cfg := range configs(1 << 20) {
+		if cfg.Policy.Name() != "flit-HT(64KB)" && cfg.Policy.Name() != "link-and-persist" {
+			continue
+		}
+		cfg := cfg
+		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
+			l := New(cfg)
+			const workers = 4
+			const iters = 4000
+			var inserted, deleted [workers]int
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := l.newThread()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(32))
+						switch rng.Intn(3) {
+						case 0:
+							if th.Insert(k, uint64(w)) {
+								inserted[w]++
+							}
+						case 1:
+							if th.Delete(k) {
+								deleted[w]++
+							}
+						default:
+							th.Contains(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			ins, del := 0, 0
+			for w := 0; w < workers; w++ {
+				ins += inserted[w]
+				del += deleted[w]
+			}
+			if got := len(l.Snapshot()); got != ins-del {
+				t.Fatalf("size %d, want inserts-deletes = %d-%d = %d", got, ins, del, ins-del)
+			}
+			// Chain must be sorted and mark-free after quiescence cleanup.
+			keys := sortedKeys(l)
+			for i := 1; i < len(keys); i++ {
+				if keys[i] <= keys[i-1] {
+					t.Fatalf("chain out of order at %d: %v", i, keys)
+				}
+			}
+		})
+	}
+}
+
+func sortedKeys(l *List) []uint64 {
+	mem := l.cfg.Heap.Mem()
+	var keys []uint64
+	curr := dstruct.Ptr(mem.VolatileWord(l.cfg.Root()))
+	for curr != pmem.NilAddr {
+		raw := mem.VolatileWord(l.cfg.Field(curr, fNext))
+		if !dstruct.Marked(raw) {
+			keys = append(keys, mem.VolatileWord(l.cfg.Field(curr, fKey)))
+		}
+		curr = dstruct.Ptr(raw)
+	}
+	return keys
+}
+
+func TestRecoveryAfterCleanShutdown(t *testing.T) {
+	for _, cfg := range configs(1 << 18) {
+		if cfg.Policy.Name() == "no-persist" {
+			continue
+		}
+		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
+			l := New(cfg)
+			th := l.newThread()
+			model := map[uint64]uint64{}
+			for i := uint64(0); i < 200; i++ {
+				th.Insert(i, i*10)
+				model[i] = i * 10
+			}
+			for i := uint64(0); i < 200; i += 3 {
+				th.Delete(i)
+				delete(model, i)
+			}
+			wm := cfg.Heap.Watermark()
+			img := cfg.Heap.Mem().CrashImage(pmem.DropUnfenced, 1)
+
+			mem2 := pmem.NewFromImage(img, cfg.Heap.Mem().Config())
+			cfg2 := cfg
+			cfg2.Heap = pheap.Recover(mem2, wm)
+			l2 := Recover(cfg2)
+			th2 := l2.newThread()
+			for k, v := range model {
+				if got, ok := th2.Get(k); !ok || got != v {
+					t.Fatalf("recovered Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+				}
+			}
+			for i := uint64(0); i < 200; i += 3 {
+				if th2.Contains(i) {
+					t.Fatalf("deleted key %d resurrected", i)
+				}
+			}
+			// The recovered structure must stay fully operational.
+			if !th2.Insert(1000, 1) || !th2.Contains(1000) || !th2.Delete(1000) {
+				t.Fatal("recovered list not operational")
+			}
+		})
+	}
+}
+
+func TestRecoveryIgnoresCycles(t *testing.T) {
+	cfg := configs(1 << 14)[0]
+	l := New(cfg)
+	th := l.newThread()
+	th.Insert(1, 1)
+	th.Insert(2, 2)
+	// Corrupt the image in volatile memory: make node2 point at node1.
+	mem := cfg.Heap.Mem()
+	n1 := dstruct.Ptr(mem.VolatileWord(cfg.Root()))
+	n2 := dstruct.Ptr(mem.VolatileWord(cfg.Field(n1, fNext)))
+	raw := mem.RegisterThread()
+	raw.Store(cfg.Field(n2, fNext), uint64(n1))
+	pairs := GatherAt(&cfg, cfg.Root())
+	if len(pairs) != 2 {
+		t.Fatalf("gather on cyclic chain returned %d pairs, want 2", len(pairs))
+	}
+}
+
+// TestQuickRandomOpsMatchModel drives random op sequences through the
+// default config and a model map (property test).
+func TestQuickRandomOpsMatchModel(t *testing.T) {
+	cfg := configs(1 << 18)[0]
+	l := New(cfg)
+	th := l.newThread()
+	model := make(map[uint64]uint64)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			k := uint64(op % 48)
+			switch op % 3 {
+			case 0:
+				_, in := model[k]
+				if th.Insert(k, uint64(op)) == in {
+					return false
+				}
+				if !in {
+					model[k] = uint64(op)
+				}
+			case 1:
+				_, in := model[k]
+				if th.Delete(k) != in {
+					return false
+				}
+				delete(model, k)
+			default:
+				_, in := model[k]
+				if th.Contains(k) != in {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRangePanics(t *testing.T) {
+	cfg := configs(1 << 14)[0]
+	l := New(cfg)
+	th := l.newThread()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized key accepted")
+		}
+	}()
+	th.Insert(dstruct.KeyMax, 0)
+}
+
+func TestRepeatedCrashes(t *testing.T) {
+	cfg := configs(1 << 20)[0]
+	inst := func(c dstruct.Config) dstest.Instance {
+		l := New(c)
+		return dstest.Instance{Set: l, Cfg: c, Snapshot: l.Snapshot}
+	}
+	rec := func(c dstruct.Config) dstest.Instance {
+		l := Recover(c)
+		return dstest.Instance{Set: l, Cfg: c, Snapshot: l.Snapshot}
+	}
+	dstest.RepeatedCrashes(t, cfg, inst, rec, 4)
+}

@@ -1,0 +1,70 @@
+package list
+
+import (
+	"sort"
+
+	"flit/internal/dstruct"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+// GatherAt reads the persisted chain rooted at head in (recovered) memory
+// and returns the surviving key→value pairs: nodes whose next word carries
+// the Harris mark were logically deleted before the crash — the marking
+// CAS is a p-instruction in every durability mode, so a marked node is
+// marked in every crash image — and are discarded. A visited-set guards
+// against cycles so a corrupt image fails recovery instead of hanging it.
+func GatherAt(cfg *dstruct.Config, head pmem.Addr) map[uint64]uint64 {
+	mem := cfg.Heap.Mem()
+	out := make(map[uint64]uint64)
+	seen := make(map[pmem.Addr]bool)
+	curr := dstruct.Ptr(mem.VolatileWord(head))
+	for curr != pmem.NilAddr && !seen[curr] {
+		seen[curr] = true
+		nextRaw := mem.VolatileWord(cfg.Field(curr, fNext))
+		if !dstruct.Marked(nextRaw) {
+			out[mem.VolatileWord(cfg.Field(curr, fKey))] = mem.VolatileWord(cfg.Field(curr, fVal))
+		}
+		curr = dstruct.Ptr(nextRaw)
+	}
+	return out
+}
+
+// RebuildAt writes a fresh, fully persisted sorted chain holding pairs at
+// the link word head, using raw stores (recovery is single-threaded, the
+// paper's crash model spawns new processes). The caller fences afterwards
+// via FinishRebuild.
+func RebuildAt(cfg *dstruct.Config, t *pmem.Thread, ar *pheap.Arena, head pmem.Addr, pairs map[uint64]uint64) {
+	keys := make([]uint64, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	next := pmem.NilAddr
+	for i := len(keys) - 1; i >= 0; i-- {
+		n := ar.Alloc(cfg.Words(NumFields))
+		t.Store(cfg.Field(n, fKey), keys[i])
+		t.Store(cfg.Field(n, fVal), pairs[keys[i]])
+		t.Store(cfg.Field(n, fNext), uint64(next))
+		for w := 0; w < cfg.Words(NumFields); w += pmem.WordsPerLine {
+			t.PWB(n + pmem.Addr(w))
+		}
+		next = n
+	}
+	t.Store(head, uint64(next))
+	t.PWB(head)
+}
+
+// Recover rebuilds a durably consistent list from the structure persisted
+// at cfg's root slot: surviving pairs are gathered, re-laid-out into a
+// clean chain, persisted, and the result attached. cfg.Heap must be a
+// pheap.Recover heap over the crash image, so new nodes cannot overwrite
+// surviving data.
+func Recover(cfg dstruct.Config) *List {
+	t := cfg.Heap.Mem().RegisterThread()
+	ar := cfg.Heap.NewArena()
+	pairs := GatherAt(&cfg, cfg.Root())
+	RebuildAt(&cfg, t, ar, cfg.Root(), pairs)
+	t.PFence()
+	return Attach(cfg)
+}

@@ -1,0 +1,245 @@
+// Package lockmap is a lock-based durable hash map demonstrating the
+// paper's §7 point: the P-V Interface captures lock-based algorithms too,
+// and instructions inside a critical section are *private* — no other
+// thread can access the protected words concurrently — so they skip the
+// flit-counters and leading fences entirely. Reads never flush: every
+// value behind the lock was persisted by the store that put it there.
+//
+// The per-bucket lock words are volatile state (never deliberately
+// flushed): after a crash, recovery clears them — along with any lock a
+// cache eviction happened to persist while held.
+//
+// Durability discipline inside the critical section, per Condition 4:
+// a fresh node is written with private v-stores, its lines are written
+// back (PersistObject), a fence orders them, and only then is the linking
+// private p-store issued — otherwise an eviction could persist the link
+// before the node it points to.
+package lockmap
+
+import (
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/pmem"
+)
+
+// Node field indices: key, value, next.
+const (
+	fKey  = 0
+	fVal  = 1
+	fNext = 2
+	// NumFields is the number of persisted fields per node.
+	NumFields = 3
+)
+
+// Header layout: field 0 = bucket count; bucket i owns two fields —
+// lock at 1+2i (volatile), chain head at 2+2i (persistent).
+const fCount = 0
+
+// Map is a durable lock-based hash map.
+type Map struct {
+	cfg     dstruct.Config
+	base    pmem.Addr
+	buckets uint64
+	shift   uint
+}
+
+// New creates a map with the given bucket count (rounded to a power of
+// two) anchored at cfg's root slot.
+func New(cfg dstruct.Config, buckets int) *Map {
+	b := 1
+	for b < buckets {
+		b <<= 1
+	}
+	t := cfg.Heap.Mem().RegisterThread()
+	ar := cfg.Heap.NewArena()
+	pol := cfg.Policy
+	base := ar.Alloc(cfg.Words(1 + 2*b))
+	pol.StorePrivate(t, cfg.Field(base, fCount), uint64(b), core.V)
+	for i := 0; i < 2*b; i++ {
+		pol.StorePrivate(t, cfg.Field(base, 1+i), 0, core.V)
+	}
+	pol.PersistObject(t, base, cfg.Words(1+2*b))
+	pol.Store(t, cfg.Root(), uint64(base), core.P)
+	pol.Complete(t)
+	return attach(cfg, base, uint64(b))
+}
+
+// Attach wraps the map persisted at cfg's root slot.
+func Attach(cfg dstruct.Config) *Map {
+	mem := cfg.Heap.Mem()
+	base := dstruct.Ptr(mem.VolatileWord(cfg.Root()))
+	return attach(cfg, base, mem.VolatileWord(cfg.Field(base, fCount)))
+}
+
+func attach(cfg dstruct.Config, base pmem.Addr, b uint64) *Map {
+	m := &Map{cfg: cfg, base: base, buckets: b}
+	m.shift = 64
+	for e := b; e > 1; e >>= 1 {
+		m.shift--
+	}
+	return m
+}
+
+// Name returns "lockmap".
+func (m *Map) Name() string { return "lockmap" }
+
+// Buckets returns the bucket count.
+func (m *Map) Buckets() int { return int(m.buckets) }
+
+func (m *Map) bucket(key uint64) (lock, head pmem.Addr) {
+	h := (key * 0x9E3779B97F4A7C15) >> m.shift
+	return m.cfg.Field(m.base, 1+2*int(h)), m.cfg.Field(m.base, 2+2*int(h))
+}
+
+// Thread is a per-goroutine handle to the map.
+type Thread struct {
+	m *Map
+	c dstruct.Ctx
+}
+
+// NewThread creates a per-goroutine handle.
+func (m *Map) NewThread() dstruct.SetThread { return m.newThread() }
+
+func (m *Map) newThread() *Thread {
+	ar := m.cfg.Heap.NewArena()
+	return &Thread{m: m, c: dstruct.Ctx{T: m.cfg.Heap.Mem().RegisterThread(), Ar: ar}}
+}
+
+// Ctx exposes the thread's execution context (stats, crash injection).
+func (t *Thread) Ctx() dstruct.Ctx { return t.c }
+
+// acquire spins on the bucket lock with volatile CAS: the lock word holds
+// no durable information.
+func (t *Thread) acquire(lock pmem.Addr) {
+	pol := t.m.cfg.Policy
+	for !pol.CAS(t.c.T, lock, 0, 1, core.V) {
+	}
+}
+
+// release writes the lock open with a volatile store.
+func (t *Thread) release(lock pmem.Addr) {
+	t.m.cfg.Policy.Store(t.c.T, lock, 0, core.V)
+}
+
+// find walks the chain under the lock. All loads are private: nothing can
+// race, and everything reachable was persisted when linked.
+func (t *Thread) find(head pmem.Addr, key uint64) (predNext pmem.Addr, node pmem.Addr) {
+	cfg := &t.m.cfg
+	pol := cfg.Policy
+	predNext = head
+	n := dstruct.Ptr(pol.LoadPrivate(t.c.T, head, core.V))
+	for n != pmem.NilAddr {
+		if pol.LoadPrivate(t.c.T, cfg.Field(n, fKey), core.V) == key {
+			return predNext, n
+		}
+		predNext = cfg.Field(n, fNext)
+		n = dstruct.Ptr(pol.LoadPrivate(t.c.T, predNext, core.V))
+	}
+	return predNext, pmem.NilAddr
+}
+
+// Insert adds key→val if absent.
+func (t *Thread) Insert(key, val uint64) bool {
+	if key >= dstruct.KeyMax {
+		panic("lockmap: key out of range")
+	}
+	cfg := &t.m.cfg
+	pol := cfg.Policy
+	lock, head := t.m.bucket(key)
+	t.acquire(lock)
+	_, n := t.find(head, key)
+	if n != pmem.NilAddr {
+		t.release(lock)
+		pol.Complete(t.c.T)
+		return false
+	}
+	node := t.c.Ar.Alloc(cfg.Words(NumFields))
+	pol.StorePrivate(t.c.T, cfg.Field(node, fKey), key, core.V)
+	pol.StorePrivate(t.c.T, cfg.Field(node, fVal), val, core.V)
+	pol.StorePrivate(t.c.T, cfg.Field(node, fNext),
+		pol.LoadPrivate(t.c.T, head, core.V), core.V)
+	pol.PersistObject(t.c.T, node, cfg.Words(NumFields))
+	pol.Complete(t.c.T) // node lines durable before the link can persist
+	pol.StorePrivate(t.c.T, head, uint64(node), core.P)
+	t.release(lock)
+	pol.Complete(t.c.T)
+	return true
+}
+
+// Delete removes key if present. The unlink is a private p-store: it must
+// be durable before the node's memory can be reused.
+func (t *Thread) Delete(key uint64) bool {
+	cfg := &t.m.cfg
+	pol := cfg.Policy
+	lock, head := t.m.bucket(key)
+	t.acquire(lock)
+	predNext, n := t.find(head, key)
+	if n == pmem.NilAddr {
+		t.release(lock)
+		pol.Complete(t.c.T)
+		return false
+	}
+	succ := pol.LoadPrivate(t.c.T, cfg.Field(n, fNext), core.V)
+	pol.StorePrivate(t.c.T, predNext, succ, core.P)
+	t.c.Ar.Free(n, cfg.Words(NumFields)) // safe: unlink persisted, lock held
+	t.release(lock)
+	pol.Complete(t.c.T)
+	return true
+}
+
+// Contains reports whether key is present — with zero flushes: every link
+// it reads was persisted by the private p-store that wrote it.
+func (t *Thread) Contains(key uint64) bool {
+	pol := t.m.cfg.Policy
+	lock, head := t.m.bucket(key)
+	t.acquire(lock)
+	_, n := t.find(head, key)
+	t.release(lock)
+	pol.Complete(t.c.T)
+	return n != pmem.NilAddr
+}
+
+// Get returns the value stored under key, if present.
+func (t *Thread) Get(key uint64) (uint64, bool) {
+	cfg := &t.m.cfg
+	pol := cfg.Policy
+	lock, head := t.m.bucket(key)
+	t.acquire(lock)
+	defer t.release(lock)
+	_, n := t.find(head, key)
+	if n == pmem.NilAddr {
+		pol.Complete(t.c.T)
+		return 0, false
+	}
+	v := pol.LoadPrivate(t.c.T, cfg.Field(n, fVal), core.V)
+	pol.Complete(t.c.T)
+	return v, true
+}
+
+// Snapshot reads all pairs (test helper; callers quiescent).
+func (m *Map) Snapshot() map[uint64]uint64 {
+	mem := m.cfg.Heap.Mem()
+	out := make(map[uint64]uint64)
+	for i := 0; i < int(m.buckets); i++ {
+		n := dstruct.Ptr(mem.VolatileWord(m.cfg.Field(m.base, 2+2*i)))
+		for n != pmem.NilAddr {
+			out[mem.VolatileWord(m.cfg.Field(n, fKey))] = mem.VolatileWord(m.cfg.Field(n, fVal))
+			n = dstruct.Ptr(mem.VolatileWord(m.cfg.Field(n, fNext)))
+		}
+	}
+	return out
+}
+
+// Recover re-attaches the map persisted at cfg's root slot and clears
+// every bucket lock: lock words are volatile, but a background eviction
+// may have persisted a held lock — after a crash nobody holds anything.
+// Chains are structurally consistent by construction (each insert/delete
+// persists a single link word whose target is already durable).
+func Recover(cfg dstruct.Config) *Map {
+	m := Attach(cfg)
+	t := cfg.Heap.Mem().RegisterThread()
+	for i := 0; i < int(m.buckets); i++ {
+		t.Store(cfg.Field(m.base, 1+2*i), 0)
+	}
+	return m
+}

@@ -1,0 +1,111 @@
+package skiplist
+
+import (
+	"testing"
+
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/dstest"
+	"flit/internal/pmem"
+)
+
+func factory(cfg dstruct.Config) dstest.Instance {
+	s := New(cfg)
+	return dstest.Instance{Set: s, Cfg: cfg, Snapshot: s.Snapshot}
+}
+
+func recoverer(cfg dstruct.Config) dstest.Instance {
+	s := Recover(cfg)
+	return dstest.Instance{Set: s, Cfg: cfg, Snapshot: s.Snapshot}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<20, true) {
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.SequentialModel(t, cfg, factory, 96, 4000)
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<22, true) {
+		if cfg.Policy.Name() != "flit-HT(64KB)" && cfg.Policy.Name() != "link-and-persist" {
+			continue
+		}
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.ConcurrentStress(t, cfg, factory, 64, 4, 4000)
+		})
+	}
+}
+
+func TestCleanRecovery(t *testing.T) {
+	for _, cfg := range dstest.Configs(1<<20, true) {
+		if cfg.Policy.Name() == "no-persist" {
+			continue
+		}
+		cfg := cfg
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.CleanRecovery(t, cfg, factory, recoverer, 300)
+		})
+	}
+}
+
+// TestTowersStayConsistent verifies the index property after heavy churn:
+// every node linked at level i is linked at level 0 or marked.
+func TestTowersStayConsistent(t *testing.T) {
+	cfg := dstest.Configs(1<<22, false)[0]
+	s := New(cfg)
+	th := s.newThread()
+	for i := 0; i < 3000; i++ {
+		k := uint64(i % 200)
+		if i%3 == 0 {
+			th.Delete(k)
+		} else {
+			th.Insert(k, uint64(i))
+		}
+	}
+	mem := cfg.Heap.Mem()
+	// Collect unmarked bottom-level nodes.
+	bottom := map[pmem.Addr]bool{}
+	curr := dstruct.Ptr(mem.VolatileWord(cfg.Field(s.head, fNext0)))
+	for curr != pmem.NilAddr {
+		raw := mem.VolatileWord(cfg.Field(curr, fNext0))
+		if !dstruct.Marked(raw) {
+			bottom[curr] = true
+		}
+		curr = dstruct.Ptr(raw)
+	}
+	for lvl := 1; lvl < MaxLevel; lvl++ {
+		curr := dstruct.Ptr(mem.VolatileWord(cfg.Field(s.head, fNext0+lvl)))
+		for curr != pmem.NilAddr {
+			raw := mem.VolatileWord(cfg.Field(curr, fNext0+lvl))
+			if !dstruct.Marked(mem.VolatileWord(cfg.Field(curr, fNext0))) && !bottom[curr] {
+				t.Fatalf("node %d linked at level %d but missing from bottom", curr, lvl)
+			}
+			curr = dstruct.Ptr(raw)
+		}
+	}
+}
+
+func TestRandLevelDistribution(t *testing.T) {
+	cfg := dstest.Configs(1<<16, false)[0]
+	s := New(cfg)
+	th := s.newThread()
+	counts := make([]int, MaxLevel+1)
+	for i := 0; i < 10000; i++ {
+		l := th.randLevel()
+		if l < 1 || l > MaxLevel {
+			t.Fatalf("randLevel out of range: %d", l)
+		}
+		counts[l]++
+	}
+	if counts[1] < 4000 || counts[1] > 6000 {
+		t.Fatalf("level-1 frequency %d of 10000, want ~5000 (geometric 1/2)", counts[1])
+	}
+}
+
+func TestRepeatedCrashes(t *testing.T) {
+	cfg := dstest.Configs(1<<22, false)[0]
+	dstest.RepeatedCrashes(t, cfg, factory, recoverer, 4)
+}

@@ -1,0 +1,469 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"flit/internal/dstruct"
+)
+
+// Options tunes how the figure experiments run. Zero values pick defaults
+// scaled to the host.
+type Options struct {
+	Threads  int           // default: GOMAXPROCS
+	Duration time.Duration // per measured cell; default 120 ms
+	// Repeats averages each cell over this many runs (the paper averages
+	// 5); default 1.
+	Repeats int
+	// Small restricts Figure 8 to the small structure sizes.
+	Small bool
+	// Invalidate turns on clwb-invalidation modeling everywhere
+	// (reproducing the paper's Cascade Lake behaviour).
+	Invalidate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Duration == 0 {
+		o.Duration = 120 * time.Millisecond
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 1
+	}
+	return o
+}
+
+// measure is the cell primitive all figures share: averaged runs per the
+// paper's methodology.
+func (o Options) measure(s Spec, w Workload) Result {
+	return MeasureRepeated(s, w, o.Repeats)
+}
+
+// smallSize mirrors the paper's small configurations (10K keys; 128 for
+// the linear-traversal list).
+func smallSize(ds string) uint64 {
+	if ds == "list" {
+		return 128
+	}
+	return 10_000
+}
+
+// largeSize mirrors the paper's large configurations, scaled from 10M to
+// 1M keys (4K for the list, as in the paper) to fit a laptop-class host.
+func largeSize(ds string) uint64 {
+	if ds == "list" {
+		return 4096
+	}
+	return 1_000_000
+}
+
+// DataStructures lists the four benchmark structures in the paper's order.
+var DataStructures = []string{"bst", "hashtable", "list", "skiplist"}
+
+// measureUpdSweep builds+prefills one instance and runs it at each update
+// ratio, reusing the steady-state fill across ratios.
+func measureUpdSweep(s Spec, o Options, upds []int) []Result {
+	s.Duration = o.Duration * time.Duration(o.Repeats*len(upds))
+	inst := Build(s)
+	inst.Prefill()
+	out := make([]Result, len(upds))
+	for i, u := range upds {
+		w := Workload{Threads: o.Threads, UpdatePct: u, Duration: o.Duration}
+		var acc Result
+		for r := 0; r < o.Repeats; r++ {
+			res := RunWorkload(inst, w)
+			acc.Label = res.Label
+			acc.Ops += res.Ops
+			acc.PWBs += res.PWBs
+			acc.OpsPerSec += res.OpsPerSec / float64(o.Repeats)
+		}
+		if acc.Ops > 0 {
+			acc.PWBsPerOp = float64(acc.PWBs) / float64(acc.Ops)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: flit-HT size tuning on the automatic BST with
+// 10K keys across update ratios.
+func Fig5(o Options) []*Table {
+	o = o.withDefaults()
+	upds := []int{0, 5, 50}
+	sizes := []int{4 << 10, 64 << 10, 1 << 20, 16 << 20, 64 << 20}
+	t := &Table{
+		Title:   "Figure 5: flit-HT size tuning (automatic BST, 10K keys)",
+		ColHead: "flit-HT size \\ update%",
+		Cols:    []string{"0%", "5%", "50%"},
+		Unit:    "Mops/s",
+	}
+	for _, bytes := range sizes {
+		s := Spec{DS: "bst", Policy: PolHT, HTBytes: bytes, Mode: dstruct.Automatic,
+			KeyRange: smallSize("bst"), Invalidate: o.Invalidate}
+		res := measureUpdSweep(s, o, upds)
+		cells := make([]float64, len(res))
+		for i, r := range res {
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		t.AddRow(s.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: larger tables lose at 0% updates (cache residency); 4KB collapses at >=5% (line collisions)")
+	return []*Table{t}
+}
+
+// fig6Policies are the series of Figure 6.
+var fig6Policies = []string{PolNoPersist, PolPlain, PolHT, PolAdjacent}
+
+// Fig6 reproduces Figure 6: thread scalability of the automatic BST (10K
+// keys, 5% updates). Thread counts beyond the host's cores oversubscribe
+// goroutines.
+func Fig6(o Options) []*Table {
+	o = o.withDefaults()
+	maxT := o.Threads * 4
+	var threads []int
+	for n := 1; n <= maxT; n *= 2 {
+		threads = append(threads, n)
+	}
+	t := &Table{
+		Title:   "Figure 6: scalability (automatic BST, 10K keys, 5% updates)",
+		ColHead: "policy \\ threads",
+		Unit:    "Mops/s",
+	}
+	for _, n := range threads {
+		t.Cols = append(t.Cols, fmt.Sprint(n))
+	}
+	for _, pol := range fig6Policies {
+		s := Spec{DS: "bst", Policy: pol, Mode: dstruct.Automatic,
+			KeyRange: smallSize("bst"), Invalidate: o.Invalidate, Duration: o.Duration}
+		inst := Build(s)
+		inst.Prefill()
+		cells := make([]float64, len(threads))
+		for i, n := range threads {
+			r := RunWorkload(inst, Workload{Threads: n, UpdatePct: 5, Duration: o.Duration})
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		t.AddRow(s.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("host has %d CPUs; counts beyond that oversubscribe goroutines", runtime.NumCPU()))
+	return []*Table{t}
+}
+
+// fig7Policies returns the policy series of Figure 7 for a structure.
+func fig7Policies(ds string) []string {
+	ps := []string{PolPlain, PolAdjacent, PolHT}
+	if ds != "bst" { // link-and-persist inapplicable to the NM-BST
+		ps = append(ps, PolLAP)
+	}
+	return ps
+}
+
+// Fig7 reproduces Figure 7: all four structures, three durability methods,
+// all persistence policies, 5% updates, small sizes.
+func Fig7(o Options) []*Table {
+	o = o.withDefaults()
+	var tables []*Table
+	for _, ds := range DataStructures {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 7: %s, %d keys, %d threads, 5%% updates", ds, smallSize(ds), o.Threads),
+			ColHead: "durability \\ policy",
+			Cols:    []string{"plain", "flit-adjacent", "flit-HT", "link&persist"},
+			Unit:    "Mops/s",
+		}
+		base := o.measure(Spec{DS: ds, Policy: PolNoPersist, Mode: dstruct.Automatic,
+			KeyRange: smallSize(ds), Invalidate: o.Invalidate},
+			Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+		for _, mode := range dstruct.Modes {
+			cells := make([]float64, 4)
+			for i, pol := range fig7Policies(ds) {
+				r := o.measure(Spec{DS: ds, Policy: pol, Mode: mode,
+					KeyRange: smallSize(ds), Invalidate: o.Invalidate},
+					Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+				cells[i] = r.OpsPerSec / 1e6
+			}
+			t.AddRow(mode.String(), cells...)
+		}
+		t.AddRow("non-persistent baseline", base.OpsPerSec/1e6)
+		tables = append(tables, t)
+	}
+	tables = append(tables, speedupTable(tables))
+	return tables
+}
+
+// speedupTable distills Figure 7 into the paper's headline claims: FliT's
+// speedup over plain per structure and durability method.
+func speedupTable(figs []*Table) *Table {
+	t := &Table{
+		Title:   "Figure 7 summary: flit-HT speedup over plain",
+		ColHead: "durability \\ structure",
+		Unit:    "x (>=1 means FliT wins)",
+	}
+	for _, f := range figs {
+		t.Cols = append(t.Cols, f.Title[10:f.titleComma()])
+	}
+	for mi, mode := range dstruct.Modes {
+		cells := make([]float64, len(figs))
+		for fi, f := range figs {
+			row := f.Rows[mi]
+			if row.Cells[0] > 0 {
+				cells[fi] = row.Cells[2] / row.Cells[0] // flit-HT / plain
+			}
+		}
+		t.AddRow(mode.String(), cells...)
+	}
+	t.Notes = append(t.Notes, "paper: >=2.1x in all but one workload; automatic gains most (6.68x-99.5x)")
+	return t
+}
+
+// titleComma finds the end of the structure name in a Fig7 title.
+func (t *Table) titleComma() int {
+	for i := 10; i < len(t.Title); i++ {
+		if t.Title[i] == ',' {
+			return i
+		}
+	}
+	return len(t.Title)
+}
+
+// fig8Series are the policy rows of Figure 8.
+var fig8Series = []string{PolPlain, PolAdjacent, PolHT, PolLAP}
+
+// Fig8 reproduces Figure 8: automatic durability, two sizes per structure,
+// update-ratio sweep, normalized to the non-persistent baseline.
+func Fig8(o Options) []*Table {
+	o = o.withDefaults()
+	upds := []int{0, 5, 50}
+	sizes := []func(string) uint64{smallSize}
+	names := []string{"small"}
+	if !o.Small {
+		sizes = append(sizes, largeSize)
+		names = append(names, "large")
+	}
+	var tables []*Table
+	for si, sizeOf := range sizes {
+		for _, ds := range DataStructures {
+			n := sizeOf(ds)
+			t := &Table{
+				Title:   fmt.Sprintf("Figure 8: %s (%s, %d keys), automatic, normalized", ds, names[si], n),
+				ColHead: "policy \\ update%",
+				Cols:    []string{"0%", "5%", "50%"},
+				Unit:    "fraction of non-persistent throughput",
+			}
+			base := measureUpdSweep(Spec{DS: ds, Policy: PolNoPersist, Mode: dstruct.Automatic,
+				KeyRange: n, Invalidate: o.Invalidate}, o, upds)
+			for _, pol := range fig8Series {
+				if pol == PolLAP && ds == "bst" {
+					continue
+				}
+				res := measureUpdSweep(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic,
+					KeyRange: n, Invalidate: o.Invalidate}, o, upds)
+				cells := make([]float64, len(upds))
+				for i := range res {
+					if base[i].OpsPerSec > 0 {
+						cells[i] = res[i].OpsPerSec / base[i].OpsPerSec
+					}
+				}
+				probe := Spec{DS: ds, Policy: pol}
+				t.AddRow(probe.PolicyLabel(), cells...)
+			}
+			t.Notes = append(t.Notes,
+				"paper: more updates -> lower fraction; large sizes approach 1.0 (traversal-dominated)")
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// Fig9 reproduces Figure 9: pwb instructions per operation for the
+// hashtable (10K keys) and list (128 keys) at 5% updates, automatic and
+// manual durability.
+func Fig9(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Figure 9: flushes per operation, 5% updates",
+		ColHead: "policy \\ structure/mode",
+		Cols:    []string{"ht/auto", "ht/manual", "list/auto", "list/manual"},
+		Unit:    "pwbs/op",
+	}
+	type cellSpec struct {
+		ds   string
+		mode dstruct.Mode
+	}
+	cols := []cellSpec{
+		{"hashtable", dstruct.Automatic}, {"hashtable", dstruct.Manual},
+		{"list", dstruct.Automatic}, {"list", dstruct.Manual},
+	}
+	for _, pol := range fig8Series {
+		cells := make([]float64, len(cols))
+		for i, c := range cols {
+			r := o.measure(Spec{DS: c.ds, Policy: pol, Mode: c.mode,
+				KeyRange: smallSize(c.ds), Invalidate: o.Invalidate},
+				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+			cells[i] = r.PWBsPerOp
+		}
+		probe := Spec{DS: "list", Policy: pol}
+		t.AddRow(probe.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: counts are similar across FliT variants; flit-adjacent/link-and-persist inflate on list/auto only under invalidating clwb (see ablation A)")
+	return []*Table{t}
+}
+
+// AblationInvalidate (ablation A) repeats the Figure 9 list/automatic cell
+// with clwb-invalidation modeling off and on: the paper attributes
+// flit-adjacent's extra flushes to the invalidating clwb of Cascade Lake.
+func AblationInvalidate(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Ablation A: clwb invalidation effect (list 128 keys, automatic, 5% updates)",
+		ColHead: "policy \\ clwb model",
+		Cols:    []string{"non-invalidating", "invalidating"},
+		Unit:    "pwbs/op",
+	}
+	for _, pol := range fig8Series {
+		cells := make([]float64, 2)
+		for i, inval := range []bool{false, true} {
+			r := o.measure(Spec{DS: "list", Policy: pol, Mode: dstruct.Automatic,
+				KeyRange: smallSize("list"), Invalidate: inval},
+				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+			cells[i] = r.PWBsPerOp
+		}
+		probe := Spec{DS: "list", Policy: pol}
+		t.AddRow(probe.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper observes the 'invalidating' column on hardware; non-invalidating is Intel's documented intent")
+	return []*Table{t}
+}
+
+// AblationPacked (ablation B) compares word-wide and packed (8/word)
+// flit-counters at small table sizes: packing multiplies counters per byte
+// but increases false sharing (paper §5.1).
+func AblationPacked(o Options) []*Table {
+	o = o.withDefaults()
+	upds := []int{0, 5, 50}
+	t := &Table{
+		Title:   "Ablation B: packed flit-counters (automatic BST, 10K keys)",
+		ColHead: "scheme \\ update%",
+		Cols:    []string{"0%", "5%", "50%"},
+		Unit:    "Mops/s",
+	}
+	for _, variant := range []struct {
+		pol   string
+		bytes int
+	}{
+		{PolHT, 4 << 10}, {PolPacked, 4 << 10},
+		{PolHT, 64 << 10}, {PolPacked, 64 << 10},
+	} {
+		s := Spec{DS: "bst", Policy: variant.pol, HTBytes: variant.bytes,
+			Mode: dstruct.Automatic, KeyRange: smallSize("bst"), Invalidate: o.Invalidate}
+		res := measureUpdSweep(s, o, upds)
+		cells := make([]float64, len(res))
+		for i, r := range res {
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		t.AddRow(s.PolicyLabel(), cells...)
+	}
+	return []*Table{t}
+}
+
+// AblationPerLine (ablation C) evaluates the paper's future-work variant:
+// one flit-counter per cache line, against the evaluated placements.
+func AblationPerLine(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Ablation C: per-cache-line counters (automatic, small sizes, 5% updates)",
+		ColHead: "policy \\ structure",
+		Cols:    append([]string(nil), DataStructures...),
+		Unit:    "Mops/s",
+	}
+	for _, pol := range []string{PolHT, PolAdjacent, PolPerLine} {
+		cells := make([]float64, len(DataStructures))
+		for i, ds := range DataStructures {
+			r := o.measure(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic,
+				KeyRange: smallSize(ds), Invalidate: o.Invalidate},
+				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		probe := Spec{DS: "bst", Policy: pol}
+		t.AddRow(probe.PolicyLabel(), cells...)
+	}
+	return []*Table{t}
+}
+
+// AblationIzraelevitz (ablation D) adds the original Izraelevitz et al.
+// construction (§3.1) — pwb+pfence accompanying every p-load — as the
+// historical baseline under the automatic transformation. FliT's "up to
+// 200x over plain flush instructions" headline is measured against this
+// kind of construction.
+func AblationIzraelevitz(o Options) []*Table {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Ablation D: Izraelevitz baseline (automatic, small sizes, 5% updates)",
+		ColHead: "policy \\ structure",
+		Cols:    append([]string(nil), DataStructures...),
+		Unit:    "Mops/s",
+	}
+	for _, pol := range []string{PolIz, PolPlain, PolHT} {
+		cells := make([]float64, len(DataStructures))
+		for i, ds := range DataStructures {
+			r := o.measure(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic,
+				KeyRange: smallSize(ds), Invalidate: o.Invalidate},
+				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		probe := Spec{DS: "bst", Policy: pol}
+		t.AddRow(probe.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes, "paper: FliT is up to 200x the plain-flush construction; izraelevitz fences every p-load")
+	return []*Table{t}
+}
+
+// AblationZipf (ablation E) measures skewed-access contention: the paper
+// argues FliT's largest benefits appear in contended workloads (§7). Hot
+// keys concentrate p-stores on few locations, stretching tagged windows
+// and stressing counter placement.
+func AblationZipf(o Options) []*Table {
+	o = o.withDefaults()
+	skews := []float64{0, 1.2, 2.0}
+	t := &Table{
+		Title:   "Ablation E: access skew (automatic BST, 10K keys, 50% updates)",
+		ColHead: "policy \\ zipf s",
+		Cols:    []string{"uniform", "s=1.2", "s=2.0"},
+		Unit:    "Mops/s",
+	}
+	for _, pol := range []string{PolPlain, PolAdjacent, PolHT, PolPerLine} {
+		cells := make([]float64, len(skews))
+		for i, s := range skews {
+			r := o.measure(Spec{DS: "bst", Policy: pol, Mode: dstruct.Automatic,
+				KeyRange: smallSize("bst"), Invalidate: o.Invalidate},
+				Workload{Threads: o.Threads, UpdatePct: 50, Duration: o.Duration, ZipfS: s})
+			cells[i] = r.OpsPerSec / 1e6
+		}
+		probe := Spec{DS: "bst", Policy: pol}
+		t.AddRow(probe.PolicyLabel(), cells...)
+	}
+	t.Notes = append(t.Notes, "hot keys concentrate flit-counter traffic; FliT must keep its lead under skew")
+	return []*Table{t}
+}
+
+// Figures maps figure identifiers to their experiment functions.
+var Figures = map[string]func(Options) []*Table{
+	"5":             Fig5,
+	"6":             Fig6,
+	"7":             Fig7,
+	"8":             Fig8,
+	"9":             Fig9,
+	"ablation-inv":  AblationInvalidate,
+	"ablation-pack": AblationPacked,
+	"ablation-line": AblationPerLine,
+	"ablation-iz":   AblationIzraelevitz,
+	"ablation-zipf": AblationZipf,
+}
+
+// FigureOrder is the canonical run order for "all".
+var FigureOrder = []string{"5", "6", "7", "8", "9", "ablation-inv", "ablation-pack", "ablation-line", "ablation-iz", "ablation-zipf"}

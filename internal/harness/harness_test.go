@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"flit/internal/dstruct"
+)
+
+func quickOpts() Options {
+	return Options{Threads: 2, Duration: 30 * time.Millisecond, Small: true}
+}
+
+func TestMeasureProducesThroughput(t *testing.T) {
+	for _, ds := range DataStructures {
+		for _, pol := range []string{PolNoPersist, PolPlain, PolAdjacent, PolHT} {
+			r := Measure(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic, KeyRange: 512},
+				Workload{Threads: 2, UpdatePct: 5, Duration: 20 * time.Millisecond})
+			if r.Ops == 0 || r.OpsPerSec <= 0 {
+				t.Fatalf("%s/%s: no throughput measured: %+v", ds, pol, r)
+			}
+		}
+	}
+}
+
+func TestPrefillFillsHalf(t *testing.T) {
+	inst := Build(Spec{DS: "list", Policy: PolHT, Mode: dstruct.Automatic, KeyRange: 128})
+	inst.Prefill()
+	if got := len(inst.Snapshot()); got != 64 {
+		t.Fatalf("prefill produced %d keys, want 64", got)
+	}
+	if inst.Mem.TotalStats().PWBs != 0 {
+		t.Fatal("prefill statistics not reset")
+	}
+}
+
+func TestFliTBeatsPlainOnReadHeavyAutomatic(t *testing.T) {
+	// The paper's central claim, in miniature: with p-loads dominating
+	// (automatic mode, 5% updates), FliT must outperform plain flushing.
+	w := Workload{Threads: 2, UpdatePct: 5, Duration: 60 * time.Millisecond}
+	plain := Measure(Spec{DS: "bst", Policy: PolPlain, Mode: dstruct.Automatic, KeyRange: 10_000}, w)
+	flit := Measure(Spec{DS: "bst", Policy: PolHT, Mode: dstruct.Automatic, KeyRange: 10_000}, w)
+	if flit.OpsPerSec < 1.5*plain.OpsPerSec {
+		t.Fatalf("FliT %.0f ops/s vs plain %.0f ops/s: speedup %.2fx < 1.5x",
+			flit.OpsPerSec, plain.OpsPerSec, flit.OpsPerSec/plain.OpsPerSec)
+	}
+	if flit.PWBsPerOp >= plain.PWBsPerOp {
+		t.Fatalf("FliT pwbs/op %.2f not below plain %.2f", flit.PWBsPerOp, plain.PWBsPerOp)
+	}
+}
+
+func TestPolicyLabels(t *testing.T) {
+	cases := map[string]Spec{
+		"no-persist":       {Policy: PolNoPersist},
+		"plain":            {Policy: PolPlain},
+		"flit-adjacent":    {Policy: PolAdjacent},
+		"flit-HT(1MB)":     {Policy: PolHT},
+		"flit-HT(4KB)":     {Policy: PolHT, HTBytes: 4 << 10},
+		"flit-packed(4KB)": {Policy: PolPacked, HTBytes: 4 << 10},
+		"flit-perline":     {Policy: PolPerLine},
+		"link-and-persist": {Policy: PolLAP},
+	}
+	for want, s := range cases {
+		if got := s.PolicyLabel(); got != want {
+			t.Errorf("PolicyLabel(%q) = %q, want %q", s.Policy, got, want)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{Title: "T", ColHead: "h", Cols: []string{"a", "b"}, Unit: "u"}
+	tb.AddRow("row", 1.5, 1234)
+	out := tb.Format()
+	for _, want := range []string{"=== T", "row", "1.500", "1234"} {
+		if !contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestFig9RunsQuickly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiment")
+	}
+	tables := Fig9(quickOpts())
+	if len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("Fig9 shape wrong: %+v", tables)
+	}
+	// plain must flush more per op than flit-HT on the list/automatic cell.
+	var plain, flitHT float64
+	for _, r := range tables[0].Rows {
+		if r.Label == "plain" {
+			plain = r.Cells[2]
+		}
+		if r.Label == "flit-HT(1MB)" {
+			flitHT = r.Cells[2]
+		}
+	}
+	if plain <= flitHT {
+		t.Fatalf("plain pwbs/op %.2f not above flit-HT %.2f", plain, flitHT)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Title: "T", ColHead: "h", Cols: []string{"a,b", "c"}, Unit: "u"}
+	tb.AddRow(`r"1`, 1.5, 2)
+	out := tb.CSV()
+	for _, want := range []string{"# T [u]", `"a,b"`, `"r""1"`, "1.5,2"} {
+		if !contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureRepeatedAverages(t *testing.T) {
+	r := MeasureRepeated(
+		Spec{DS: "list", Policy: PolHT, Mode: dstruct.Automatic, KeyRange: 64},
+		Workload{Threads: 2, UpdatePct: 5, Duration: 10 * time.Millisecond}, 3)
+	if r.Ops == 0 || r.OpsPerSec <= 0 {
+		t.Fatalf("no throughput from repeated measurement: %+v", r)
+	}
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workload is a timed benchmark mix, matching the paper's setup: updates
+// split 50/50 between inserts and deletes, uniformly random keys.
+type Workload struct {
+	Threads   int
+	UpdatePct int // 0, 5, 50 in the paper
+	Duration  time.Duration
+	// ZipfS, when > 1, draws keys from a Zipf(s) distribution instead of
+	// uniform: hot keys create the contended access pattern the paper
+	// names as where FliT's benefits concentrate (§7).
+	ZipfS float64
+}
+
+// Result aggregates one run.
+type Result struct {
+	Label     string
+	Ops       uint64
+	OpsPerSec float64
+	PWBs      uint64
+	PFences   uint64
+	PWBsPerOp float64
+	Elapsed   time.Duration
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-40s %12.0f ops/s  %7.3f pwbs/op", r.Label, r.OpsPerSec, r.PWBsPerOp)
+}
+
+// RunWorkload drives the instance with w and returns throughput and flush
+// statistics. The instance should already be prefilled; statistics are
+// reset at the start of the measured window.
+func RunWorkload(inst *Instance, w Workload) Result {
+	inst.Mem.ResetStats()
+	var stop atomic.Bool
+	var totalOps atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < w.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			th := inst.Set.NewThread()
+			rng := rand.New(rand.NewSource(int64(0xC0FFEE + t*7919)))
+			keyRange := inst.Spec.KeyRange
+			var zipf *rand.Zipf
+			if w.ZipfS > 1 {
+				zipf = rand.NewZipf(rng, w.ZipfS, 1, keyRange-1)
+			}
+			var ops uint64
+			for !stop.Load() {
+				// A small batch per stop-check keeps the flag off the
+				// per-op hot path.
+				for i := 0; i < 64; i++ {
+					var k uint64
+					if zipf != nil {
+						k = zipf.Uint64()
+					} else {
+						k = uint64(rng.Int63()) % keyRange
+					}
+					r := rng.Intn(100)
+					switch {
+					case r < w.UpdatePct && r%2 == 0:
+						th.Insert(k, k)
+					case r < w.UpdatePct:
+						th.Delete(k)
+					default:
+						th.Contains(k)
+					}
+					ops++
+				}
+			}
+			totalOps.Add(ops)
+		}(t)
+	}
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := inst.Mem.TotalStats()
+	ops := totalOps.Load()
+	res := Result{
+		Label:   inst.Label(),
+		Ops:     ops,
+		PWBs:    stats.PWBs,
+		PFences: stats.PFences,
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	if ops > 0 {
+		res.PWBsPerOp = float64(stats.PWBs) / float64(ops)
+	}
+	return res
+}
+
+// Measure builds, prefills and runs a spec in one call.
+func Measure(s Spec, w Workload) Result {
+	s.Duration = w.Duration
+	inst := Build(s)
+	inst.Prefill()
+	return RunWorkload(inst, w)
+}
+
+// MeasureRepeated averages n runs on one prefilled instance — the paper
+// reports the average of 5 runs of every configuration.
+func MeasureRepeated(s Spec, w Workload, n int) Result {
+	if n < 1 {
+		n = 1
+	}
+	s.Duration = w.Duration * time.Duration(n)
+	inst := Build(s)
+	inst.Prefill()
+	var acc Result
+	for i := 0; i < n; i++ {
+		r := RunWorkload(inst, w)
+		acc.Label = r.Label
+		acc.Ops += r.Ops
+		acc.PWBs += r.PWBs
+		acc.PFences += r.PFences
+		acc.OpsPerSec += r.OpsPerSec / float64(n)
+		acc.Elapsed += r.Elapsed
+	}
+	if acc.Ops > 0 {
+		acc.PWBsPerOp = float64(acc.PWBs) / float64(acc.Ops)
+	}
+	return acc
+}

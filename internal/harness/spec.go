@@ -1,0 +1,209 @@
+// Package harness builds benchmark instances and drives the timed
+// workloads that regenerate every figure of the paper's evaluation
+// (§6): throughput and flush counts across data structures, durability
+// methods, persistence policies, flit-counter placements, thread counts,
+// update ratios and structure sizes.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/bst"
+	"flit/internal/dstruct/hashtable"
+	"flit/internal/dstruct/list"
+	"flit/internal/dstruct/skiplist"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+// Policy identifiers accepted by Spec.Policy.
+const (
+	PolNoPersist = "no-persist"
+	PolPlain     = "plain"
+	PolIz        = "izraelevitz"
+	PolAdjacent  = "flit-adjacent"
+	PolHT        = "flit-ht"
+	PolPacked    = "flit-packed"
+	PolPerLine   = "flit-perline"
+	PolLAP       = "link-and-persist"
+)
+
+// Spec describes one benchmark instance: a data structure over a policy,
+// durability mode, and sizing.
+type Spec struct {
+	DS       string // list | hashtable | skiplist | bst
+	Policy   string // one of the Pol* identifiers
+	HTBytes  int    // flit-ht / flit-packed table size (default 1 MB)
+	Mode     dstruct.Mode
+	KeyRange uint64
+	// Buckets for the hashtable (default KeyRange/2, giving short chains
+	// at the steady-state 50% fill, like the paper's setup).
+	Buckets int
+	// Invalidate turns on clwb-invalidation modeling (ablation A).
+	Invalidate bool
+	// Duration hint: sizes the skiplist leak budget for long runs.
+	Duration time.Duration
+}
+
+// Instance is a ready-to-run benchmark subject.
+type Instance struct {
+	Spec     Spec
+	Set      dstruct.Set
+	Snapshot func() map[uint64]uint64
+	Mem      *pmem.Memory
+	Heap     *pheap.Heap
+	Policy   core.Policy
+}
+
+// perKeyWords estimates the allocation footprint per key (in fields,
+// before stride).
+func perKeyWords(ds string) int {
+	switch ds {
+	case "list", "hashtable":
+		return list.NumFields
+	case "skiplist":
+		return 7 // key,val,level + ~2 tower levels on average, headroom
+	case "bst":
+		return 2 * bst.NumFields // leaf + internal
+	default:
+		panic("harness: unknown data structure " + ds)
+	}
+}
+
+// memWords sizes the simulated memory: live set (~keyRange/2 at steady
+// state), allocation churn headroom, and — for the skiplist, which does
+// not recycle nodes — a duration-scaled leak budget.
+func (s Spec) memWords(stride int) int {
+	leak := uint64(400_000)
+	if s.DS == "skiplist" {
+		secs := s.Duration.Seconds()
+		if secs < 0.5 {
+			secs = 0.5
+		}
+		leak += uint64(2_000_000 * secs)
+	}
+	words := (s.KeyRange*3/4 + leak) * uint64(perKeyWords(s.DS)) * uint64(stride)
+	words += uint64(s.Buckets*stride) + (1 << 18)
+	return int(words)
+}
+
+// buildPolicy constructs the policy named by the spec.
+func (s Spec) buildPolicy(memWords int) core.Policy {
+	htBytes := s.HTBytes
+	if htBytes == 0 {
+		htBytes = 1 << 20
+	}
+	switch s.Policy {
+	case PolNoPersist:
+		return core.NoPersist{}
+	case PolPlain:
+		return core.Plain{}
+	case PolIz:
+		return core.Izraelevitz{}
+	case PolAdjacent:
+		return core.NewFliT(core.Adjacent{})
+	case PolHT:
+		return core.NewFliT(core.NewHashTable(htBytes))
+	case PolPacked:
+		return core.NewFliT(core.NewPackedHashTable(htBytes))
+	case PolPerLine:
+		return core.NewFliT(core.NewDirectMap(memWords))
+	case PolLAP:
+		return core.LinkAndPersist{}
+	default:
+		panic("harness: unknown policy " + s.Policy)
+	}
+}
+
+// PolicyLabel names the policy with its parameters, as in the paper's
+// legends.
+func (s Spec) PolicyLabel() string {
+	if s.Policy == PolHT || s.Policy == PolPacked {
+		ht := s.HTBytes
+		if ht == 0 {
+			ht = 1 << 20
+		}
+		probe := s
+		probe.HTBytes = ht
+		return probe.buildPolicy(1 << 10).Name()
+	}
+	switch s.Policy {
+	case PolNoPersist, PolPlain, PolIz, PolLAP:
+		return s.Policy
+	default:
+		return s.buildPolicy(1 << 10).Name()
+	}
+}
+
+// Build allocates the simulated memory, heap, policy and data structure.
+func Build(s Spec) *Instance {
+	if s.Buckets == 0 {
+		s.Buckets = int(s.KeyRange / 2)
+		if s.Buckets < 4 {
+			s.Buckets = 4
+		}
+	}
+	// Stride depends on the policy kind; adjacent counters double fields.
+	stride := 1
+	if s.Policy == PolAdjacent {
+		stride = core.AdjacentStride
+	}
+	words := s.memWords(stride)
+	mcfg := pmem.DefaultConfig(words)
+	mcfg.InvalidateOnPWB = s.Invalidate
+	mem := pmem.New(mcfg)
+	heap := pheap.New(mem)
+	pol := s.buildPolicy(words)
+	cfg := dstruct.Config{
+		Heap: heap, Policy: pol, Mode: s.Mode, RootSlot: 0,
+		Stride: dstruct.StrideFor(pol),
+	}
+	inst := &Instance{Spec: s, Mem: mem, Heap: heap, Policy: pol}
+	switch s.DS {
+	case "list":
+		l := list.New(cfg)
+		inst.Set, inst.Snapshot = l, l.Snapshot
+	case "hashtable":
+		h := hashtable.New(cfg, s.Buckets)
+		inst.Set, inst.Snapshot = h, h.Snapshot
+	case "skiplist":
+		sl := skiplist.New(cfg)
+		inst.Set, inst.Snapshot = sl, sl.Snapshot
+	case "bst":
+		b := bst.New(cfg)
+		inst.Set, inst.Snapshot = b, b.Snapshot
+	default:
+		panic("harness: unknown data structure " + s.DS)
+	}
+	return inst
+}
+
+// Prefill inserts every other key (50% fill, the steady state of a 50/50
+// insert/delete mix), with latency modeling suspended — setup is not part
+// of the measured run. Keys are inserted in shuffled order: sorted
+// insertion would degenerate the external BST into a linear chain.
+func (inst *Instance) Prefill() {
+	saved := inst.Mem.Config()
+	inst.Mem.SetCosts(0, 0, 0, 0)
+	th := inst.Set.NewThread()
+	keys := make([]uint64, 0, inst.Spec.KeyRange/2)
+	for k := uint64(0); k < inst.Spec.KeyRange; k += 2 {
+		keys = append(keys, k)
+	}
+	rng := rand.New(rand.NewSource(0xF117))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		th.Insert(k, k)
+	}
+	inst.Mem.SetCosts(saved.PWBCost, saved.PFenceCost, saved.PFenceEntryCost, saved.MissCost)
+	inst.Mem.ResetStats()
+}
+
+// Label describes the instance for tables.
+func (inst *Instance) Label() string {
+	return fmt.Sprintf("%s/%s/%s", inst.Spec.DS, inst.Spec.Mode, inst.Spec.PolicyLabel())
+}

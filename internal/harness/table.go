@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result: one row per series, one column
+// per x-value, mirroring how the paper's plots are read.
+type Table struct {
+	Title string
+	// ColHead labels the column dimension (e.g. "update%", "threads").
+	ColHead string
+	Cols    []string
+	Rows    []TableRow
+	// Unit annotates cell values (e.g. "Mops/s", "pwbs/op", "× baseline").
+	Unit string
+	// Notes carries caveats shown under the table.
+	Notes []string
+}
+
+// TableRow is one series.
+type TableRow struct {
+	Label string
+	Cells []float64
+}
+
+// AddRow appends a series.
+func (t *Table) AddRow(label string, cells ...float64) {
+	t.Rows = append(t.Rows, TableRow{Label: label, Cells: cells})
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s  [%s]\n", t.Title, t.Unit)
+	width := 28
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, t.ColHead)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%15s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, "%15s", fmtCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s [%s]\n", t.Title, t.Unit)
+	fmt.Fprintf(&b, "%s", csvEscape(t.ColHead))
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, ",%s", csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s", csvEscape(r.Label))
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func fmtCell(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

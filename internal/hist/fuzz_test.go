@@ -1,0 +1,48 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCheckKey feeds arbitrary per-key histories to the checker: it must
+// never panic (below the 64-op bound) and must stay consistent with two
+// invariants — adding a pending op can only widen the acceptable finals,
+// and a history accepted for some final must also be accepted when that
+// final is produced by appending a matching completed op.
+func FuzzCheckKey(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, true, false)
+	f.Add([]byte{9, 9, 9}, false, true)
+	f.Add([]byte{}, true, true)
+	f.Fuzz(func(t *testing.T, raw []byte, init, final bool) {
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		ops := make([]Op, 0, len(raw))
+		ts := int64(1)
+		for _, b := range raw {
+			kind := Kind(b % 3)
+			completed := b%4 != 3
+			op := Op{Kind: kind, Start: ts, End: ts + 1, Completed: completed,
+				Result: b%8 >= 4}
+			if !completed {
+				op.End = math.MaxInt64
+			}
+			ts += 2
+			ops = append(ops, op)
+		}
+		accepted := CheckKey(ops, init, final)
+
+		// Invariant: appending a pending op never shrinks acceptance.
+		widened := append(append([]Op(nil), ops...), Op{
+			Kind: Insert, Start: ts, End: math.MaxInt64,
+		})
+		if accepted && !CheckKey(widened, init, final) {
+			t.Fatalf("adding a pending op rejected a previously valid history")
+		}
+		// A pending insert must always allow final=true.
+		if accepted && !CheckKey(widened, init, true) {
+			t.Fatalf("pending insert cannot explain final presence")
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package hist records concurrent set histories and checks durable
+// linearizability [Izraelevitz et al., DISC'16] against a post-crash
+// state.
+//
+// The checker is per-key: linearizability is local (Herlihy & Wing), and
+// operations on distinct set keys commute, so a multi-key set history is
+// durably linearizable iff every per-key subhistory is — per-key checking
+// is both sound and complete here. Each per-key subhistory is decided
+// exactly (Wing–Gong style interval-order search with memoization), under
+// crash semantics: operations that completed before the crash must appear
+// with their observed results; operations pending at the crash may take
+// effect or vanish.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Kind is a set operation type.
+type Kind int8
+
+// Set operation kinds.
+const (
+	Insert Kind = iota
+	Delete
+	Contains
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Contains:
+		return "contains"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one recorded operation.
+type Op struct {
+	Kind      Kind
+	Key       uint64
+	Result    bool  // valid only if Completed
+	Completed bool  // the response returned before the crash
+	Start     int64 // invocation timestamp
+	End       int64 // response timestamp; math.MaxInt64 while pending
+}
+
+// Clock is the shared logical clock all recorders stamp against: if op A's
+// response precedes op B's invocation in real time, A.End < B.Start.
+type Clock struct{ c atomic.Int64 }
+
+// Now returns a fresh, strictly increasing timestamp.
+func (c *Clock) Now() int64 { return c.c.Add(1) }
+
+// Recorder logs the operations of a single thread. Not safe for sharing;
+// one per worker goroutine.
+type Recorder struct {
+	clock *Clock
+	ops   []Op
+}
+
+// NewRecorder creates a recorder stamping against clock.
+func NewRecorder(clock *Clock) *Recorder { return &Recorder{clock: clock} }
+
+// Begin logs an invocation and returns a token for Finish. If the thread
+// crashes before Finish, the op remains recorded as pending.
+func (r *Recorder) Begin(kind Kind, key uint64) int {
+	r.ops = append(r.ops, Op{
+		Kind: kind, Key: key,
+		Start: r.clock.Now(), End: math.MaxInt64,
+	})
+	return len(r.ops) - 1
+}
+
+// Finish logs the response of the op returned by Begin.
+func (r *Recorder) Finish(tok int, result bool) {
+	r.ops[tok].End = r.clock.Now()
+	r.ops[tok].Result = result
+	r.ops[tok].Completed = true
+}
+
+// Ops returns the recorded operations (read after the thread stopped).
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// Gather merges recorders into per-key subhistories.
+func Gather(recs []*Recorder) map[uint64][]Op {
+	out := make(map[uint64][]Op)
+	for _, r := range recs {
+		for _, op := range r.ops {
+			out[op.Key] = append(out[op.Key], op)
+		}
+	}
+	return out
+}
+
+// Violation describes a durable-linearizability failure for one key.
+type Violation struct {
+	Key     uint64
+	Final   bool // presence in the recovered structure
+	Initial bool
+	Ops     []Op
+}
+
+// Error formats the violation with its full per-key history.
+func (v *Violation) Error() string {
+	s := fmt.Sprintf("key %d: no linearization explains recovered presence=%v (initial=%v, %d ops)",
+		v.Key, v.Final, v.Initial, len(v.Ops))
+	for _, op := range v.Ops {
+		end := "pending"
+		res := "?"
+		if op.Completed {
+			end = fmt.Sprint(op.End)
+			res = fmt.Sprint(op.Result)
+		}
+		s += fmt.Sprintf("\n  [%d,%s] %s(%d) = %s", op.Start, end, op.Kind, op.Key, res)
+	}
+	return s
+}
+
+// CheckKey decides whether some linearization of ops — consistent with set
+// sequential semantics, the ops' interval order, completed results, and
+// optional inclusion of pending ops — starts at initial presence init and
+// ends at presence final. It is exact (no false positives or negatives)
+// for up to 64 ops per key.
+func CheckKey(ops []Op, init, final bool) bool {
+	if len(ops) > 64 {
+		panic("hist: more than 64 ops on one key; shard the workload or shorten the run")
+	}
+	var completedMask uint64
+	for i, op := range ops {
+		if op.Completed {
+			completedMask |= 1 << i
+		}
+	}
+	type state struct {
+		mask uint64
+		st   bool
+	}
+	memo := make(map[state]bool) // visited (not result) memo
+	var rec func(mask uint64, st bool) bool
+	rec = func(mask uint64, st bool) bool {
+		if mask&completedMask == completedMask && st == final {
+			return true // pending leftovers simply never took effect
+		}
+		key := state{mask, st}
+		if memo[key] {
+			return false
+		}
+		memo[key] = true
+		for i := 0; i < len(ops); i++ {
+			bit := uint64(1) << i
+			if mask&bit != 0 {
+				continue
+			}
+			// Interval order: i may linearize next only if no other
+			// remaining op already responded before i was invoked.
+			ok := true
+			for j := 0; j < len(ops); j++ {
+				jb := uint64(1) << j
+				if j == i || mask&jb != 0 {
+					continue
+				}
+				if ops[j].End < ops[i].Start {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			op := ops[i]
+			var newSt bool
+			switch op.Kind {
+			case Insert:
+				eff := !st
+				if op.Completed && op.Result != eff {
+					continue
+				}
+				newSt = true
+			case Delete:
+				eff := st
+				if op.Completed && op.Result != eff {
+					continue
+				}
+				newSt = false
+			case Contains:
+				if op.Completed && op.Result != st {
+					continue
+				}
+				newSt = st
+			}
+			if rec(mask|bit, newSt) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, init)
+}
+
+// Check verifies a whole multi-key history against the recovered state.
+// initial maps prefilled keys to true; finalState maps keys present after
+// recovery. It returns nil, or the first violation found.
+func Check(recs []*Recorder, initial map[uint64]bool, finalState map[uint64]bool) *Violation {
+	perKey := Gather(recs)
+	// Keys only in initial/final still need checking (e.g. a prefilled key
+	// nobody touched must survive).
+	keys := make(map[uint64]bool)
+	for k := range perKey {
+		keys[k] = true
+	}
+	for k := range initial {
+		keys[k] = true
+	}
+	for k := range finalState {
+		keys[k] = true
+	}
+	for k := range keys {
+		ops := perKey[k]
+		if !CheckKey(ops, initial[k], finalState[k]) {
+			return &Violation{Key: k, Final: finalState[k], Initial: initial[k], Ops: ops}
+		}
+	}
+	return nil
+}

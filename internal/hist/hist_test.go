@@ -1,0 +1,260 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkOp builds a completed op.
+func mkOp(kind Kind, start, end int64, result bool) Op {
+	return Op{Kind: kind, Start: start, End: end, Result: result, Completed: true}
+}
+
+// pend builds a pending op.
+func pend(kind Kind, start int64) Op {
+	return Op{Kind: kind, Start: start, End: math.MaxInt64}
+}
+
+func TestSequentialHistories(t *testing.T) {
+	cases := []struct {
+		name   string
+		ops    []Op
+		init   bool
+		final  bool
+		accept bool
+	}{
+		{"empty absent", nil, false, false, true},
+		{"empty present", nil, true, true, true},
+		{"empty lost prefill", nil, true, false, false},
+		{"insert persists", []Op{mkOp(Insert, 1, 2, true)}, false, true, true},
+		{"insert lost", []Op{mkOp(Insert, 1, 2, true)}, false, false, false},
+		{"insert then delete", []Op{mkOp(Insert, 1, 2, true), mkOp(Delete, 3, 4, true)}, false, false, true},
+		{"deleted key resurrected", []Op{mkOp(Insert, 1, 2, true), mkOp(Delete, 3, 4, true)}, false, true, false},
+		{"failed insert on present", []Op{mkOp(Insert, 1, 2, false)}, true, true, true},
+		{"failed insert result wrong", []Op{mkOp(Insert, 1, 2, false)}, false, true, false},
+		{"contains true needs presence", []Op{mkOp(Contains, 1, 2, true)}, false, false, false},
+		{"contains false on absent", []Op{mkOp(Contains, 1, 2, false)}, false, false, true},
+		{"delete false on absent", []Op{mkOp(Delete, 1, 2, false)}, false, false, true},
+		{"delete true on absent", []Op{mkOp(Delete, 1, 2, true)}, false, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := CheckKey(c.ops, c.init, c.final); got != c.accept {
+				t.Fatalf("CheckKey = %v, want %v", got, c.accept)
+			}
+		})
+	}
+}
+
+func TestPendingOpsMayOrMayNotTakeEffect(t *testing.T) {
+	// A pending insert explains both presence and absence.
+	ops := []Op{pend(Insert, 1)}
+	if !CheckKey(ops, false, true) || !CheckKey(ops, false, false) {
+		t.Fatal("pending insert must allow both outcomes")
+	}
+	// A pending delete of a prefilled key likewise.
+	ops = []Op{pend(Delete, 1)}
+	if !CheckKey(ops, true, true) || !CheckKey(ops, true, false) {
+		t.Fatal("pending delete must allow both outcomes")
+	}
+	// But a pending insert cannot explain the loss of a prefilled key.
+	if CheckKey(ops[:0], true, false) {
+		t.Fatal("prefilled key lost with no delete accepted")
+	}
+}
+
+func TestIntervalOrderRespected(t *testing.T) {
+	// insert completes (true), then strictly later contains says false,
+	// with no delete: not linearizable.
+	ops := []Op{
+		mkOp(Insert, 1, 2, true),
+		mkOp(Contains, 3, 4, false),
+	}
+	if CheckKey(ops, false, true) {
+		t.Fatal("accepted contains=false strictly after completed insert")
+	}
+	// If they overlap, contains may linearize first: acceptable.
+	ops = []Op{
+		mkOp(Insert, 1, 4, true),
+		mkOp(Contains, 2, 3, false),
+	}
+	if !CheckKey(ops, false, true) {
+		t.Fatal("rejected overlapping insert/contains")
+	}
+}
+
+func TestConcurrentInsertDelete(t *testing.T) {
+	// Two overlapping ops: insert=true, delete=true. Both orders valid but
+	// final state differs: delete-last -> absent; the reverse is
+	// impossible because delete(true) needs presence first.
+	ops := []Op{
+		mkOp(Insert, 1, 10, true),
+		mkOp(Delete, 2, 9, true),
+	}
+	if !CheckKey(ops, false, false) {
+		t.Fatal("rejected insert;delete -> absent")
+	}
+	if CheckKey(ops, false, true) {
+		t.Fatal("accepted impossible final=true for insert(true)+delete(true) from absent")
+	}
+}
+
+func TestCrashedDeleteMayResurface(t *testing.T) {
+	// Prefilled key, delete pending at crash: both outcomes fine; a later
+	// completed contains pins the order.
+	ops := []Op{
+		pend(Delete, 5),
+		mkOp(Contains, 6, 7, true),
+	}
+	if !CheckKey(ops, true, true) {
+		t.Fatal("rejected pending delete that never took effect")
+	}
+	// contains=true completed, then recovered absent: the pending delete
+	// can still linearize after the contains. Accepted.
+	if !CheckKey(ops, true, false) {
+		t.Fatal("rejected pending delete linearized after the contains")
+	}
+}
+
+func TestRecorderAndGather(t *testing.T) {
+	clock := &Clock{}
+	r1 := NewRecorder(clock)
+	r2 := NewRecorder(clock)
+	tok := r1.Begin(Insert, 7)
+	r1.Finish(tok, true)
+	r2.Begin(Delete, 7) // crashes pending
+	perKey := Gather([]*Recorder{r1, r2})
+	if len(perKey[7]) != 2 {
+		t.Fatalf("gathered %d ops, want 2", len(perKey[7]))
+	}
+	var completed, pending int
+	for _, op := range perKey[7] {
+		if op.Completed {
+			completed++
+		} else {
+			pending++
+		}
+	}
+	if completed != 1 || pending != 1 {
+		t.Fatalf("completed=%d pending=%d", completed, pending)
+	}
+	if perKey[7][0].Start >= perKey[7][0].End {
+		t.Fatal("timestamps not increasing")
+	}
+}
+
+func TestCheckWholeHistory(t *testing.T) {
+	clock := &Clock{}
+	r := NewRecorder(clock)
+	tok := r.Begin(Insert, 1)
+	r.Finish(tok, true)
+	tok = r.Begin(Insert, 2)
+	r.Finish(tok, true)
+	tok = r.Begin(Delete, 2)
+	r.Finish(tok, true)
+
+	good := map[uint64]bool{1: true}
+	if v := Check([]*Recorder{r}, nil, good); v != nil {
+		t.Fatalf("valid history rejected: %v", v)
+	}
+	bad := map[uint64]bool{1: true, 2: true}
+	if v := Check([]*Recorder{r}, nil, bad); v == nil {
+		t.Fatal("resurrected key accepted")
+	} else if v.Key != 2 {
+		t.Fatalf("violation on key %d, want 2", v.Key)
+	}
+	// A prefilled, untouched key must survive.
+	if v := Check([]*Recorder{r}, map[uint64]bool{9: true}, good); v == nil {
+		t.Fatal("lost prefilled key accepted")
+	}
+}
+
+// TestQuickGeneratedSequentialHistoriesAccepted: simulate a correct
+// sequential execution with random crash cut; the checker must accept the
+// surviving state both when pending ops take effect and when they don't.
+func TestQuickGeneratedSequentialHistoriesAccepted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clock := &Clock{}
+		r := NewRecorder(clock)
+		st := false
+		for i := 0; i < int(n%24); i++ {
+			kind := Kind(rng.Intn(3))
+			tok := r.Begin(kind, 1)
+			var res bool
+			switch kind {
+			case Insert:
+				res = !st
+				st = true
+			case Delete:
+				res = st
+				st = false
+			case Contains:
+				res = st
+			}
+			r.Finish(tok, res)
+		}
+		// Optionally leave one op pending, applied or not.
+		finals := []bool{st}
+		if rng.Intn(2) == 0 {
+			kind := Kind(rng.Intn(2))
+			r.Begin(kind, 1)
+			applied := st
+			if kind == Insert {
+				applied = true
+			} else {
+				applied = false
+			}
+			finals = append(finals, applied)
+		}
+		for _, fin := range finals {
+			if !CheckKey(r.Ops(), false, fin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMutatedHistoriesRejected: flipping the final state of a
+// deterministic alternating history must be rejected.
+func TestQuickMutatedHistoriesRejected(t *testing.T) {
+	f := func(n uint8) bool {
+		clock := &Clock{}
+		r := NewRecorder(clock)
+		st := false
+		for i := 0; i < 2+int(n%10); i++ {
+			var tok int
+			if st {
+				tok = r.Begin(Delete, 1)
+				st = false
+			} else {
+				tok = r.Begin(Insert, 1)
+				st = true
+			}
+			r.Finish(tok, true)
+		}
+		return !CheckKey(r.Ops(), false, !st) // flipped outcome must fail
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooManyOpsPanics(t *testing.T) {
+	ops := make([]Op, 65)
+	for i := range ops {
+		ops[i] = mkOp(Contains, int64(2*i), int64(2*i+1), false)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized per-key history")
+		}
+	}()
+	CheckKey(ops, false, false)
+}

@@ -1,0 +1,184 @@
+// Package pheap is a persistent-heap allocator over simulated NVRAM, the
+// stand-in for PMDK's libvmmalloc used in the paper's evaluation. Objects
+// live inside pmem and are referenced by word offsets (pmem.Addr), exactly
+// how persistent heaps represent pointers; offset 0 is nil.
+//
+// Like libvmmalloc, allocator *metadata* is volatile: free lists and bump
+// pointers do not survive a crash, and blocks held by in-flight operations
+// at crash time leak. Data structures recover from their persistent roots;
+// the harness carries the heap watermark across a crash so post-recovery
+// allocations never overwrite surviving objects.
+//
+// Allocation is scalable: each thread owns an Arena that carves thread-
+// local chunks off a single global atomic bump pointer and recycles freed
+// blocks through per-size free lists, so the hot path is contention-free.
+package pheap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flit/internal/pmem"
+)
+
+const (
+	// NumRoots is the number of well-known persistent root slots. Roots
+	// live at fixed addresses so recovery can find data structures.
+	NumRoots = 16
+	// rootBase is the address of root slot 0. Line 0 (words 0..7) is
+	// reserved so that address 0 stays an unambiguous nil. Root slots are
+	// spaced two words apart so the word after each root is free for the
+	// flit-adjacent counter placement.
+	rootBase   = pmem.WordsPerLine
+	rootStride = 2
+	// heapBase is the first allocatable word, line-aligned past the roots.
+	heapBase = rootBase + rootStride*NumRoots
+	// chunkWords is the size of a thread-local allocation chunk.
+	chunkWords = 4096
+	// maxAlloc is the largest supported object size in words.
+	maxAlloc = 4 << 20 // large enough for bucket arrays of million-key tables
+)
+
+// Heap manages allocation of persistent objects inside a pmem.Memory.
+type Heap struct {
+	mem  *pmem.Memory
+	bump atomic.Uint64 // next unallocated word
+}
+
+// New creates a heap covering all of mem past the reserved root region.
+func New(mem *pmem.Memory) *Heap {
+	h := &Heap{mem: mem}
+	h.bump.Store(heapBase)
+	return h
+}
+
+// Recover rebuilds a heap on recovered memory. watermark must be at least
+// the pre-crash Watermark so new allocations cannot clobber objects that
+// survived; blocks that were free before the crash leak, as they do under
+// libvmmalloc.
+func Recover(mem *pmem.Memory, watermark uint64) *Heap {
+	if watermark < heapBase {
+		watermark = heapBase
+	}
+	h := &Heap{mem: mem}
+	h.bump.Store(watermark)
+	return h
+}
+
+// Mem returns the underlying memory.
+func (h *Heap) Mem() *pmem.Memory { return h.mem }
+
+// Watermark returns the high-water mark of allocation, for carrying across
+// a simulated crash.
+func (h *Heap) Watermark() uint64 { return h.bump.Load() }
+
+// Root returns the address of persistent root slot i.
+func (h *Heap) Root(i int) pmem.Addr {
+	if i < 0 || i >= NumRoots {
+		panic(fmt.Sprintf("pheap: root index %d out of range [0,%d)", i, NumRoots))
+	}
+	return pmem.Addr(rootBase + rootStride*i)
+}
+
+// grabChunk advances the global bump pointer by at least n words and
+// returns the chunk's bounds.
+func (h *Heap) grabChunk(n int) (start, end uint64) {
+	size := uint64(chunkWords)
+	if uint64(n) > size {
+		size = uint64(n)
+	}
+	start = h.bump.Add(size) - size
+	end = start + size
+	if end > uint64(h.mem.Words()) {
+		panic(fmt.Sprintf("pheap: out of simulated persistent memory (need %d words past %d, capacity %d); size the pmem.Config for the workload",
+			size, start, h.mem.Words()))
+	}
+	return start, end
+}
+
+// sizeClass rounds a request to its allocation class: powers of two up to
+// a cache line, then whole lines. This mirrors what jemalloc-style
+// persistent allocators do and keeps sub-line objects from straddling
+// cache lines, which would distort flush counts.
+func sizeClass(n int) int {
+	switch {
+	case n <= 0:
+		panic("pheap: non-positive allocation")
+	case n <= 1:
+		return 1
+	case n <= 2:
+		return 2
+	case n <= 4:
+		return 4
+	case n <= pmem.WordsPerLine:
+		return pmem.WordsPerLine
+	case n <= maxAlloc:
+		return (n + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+	default:
+		panic(fmt.Sprintf("pheap: allocation of %d words exceeds max %d", n, maxAlloc))
+	}
+}
+
+// Arena is a thread-private allocation context. Each worker goroutine must
+// use its own Arena.
+type Arena struct {
+	h          *Heap
+	chunk      uint64
+	chunkEnd   uint64
+	free       map[int][]pmem.Addr // size class -> recycled blocks
+	allocs     uint64
+	frees      uint64
+	recycleHit uint64
+}
+
+// NewArena creates a thread-private allocator on h.
+func (h *Heap) NewArena() *Arena {
+	return &Arena{h: h, free: make(map[int][]pmem.Addr)}
+}
+
+// Alloc returns the address of n contiguous words of persistent memory,
+// aligned so that sub-line objects never straddle a cache line. The words
+// contain whatever a previously freed block left behind; callers must
+// initialize every field they will read (data structures do, since nodes
+// are fully initialized before being linked in).
+func (a *Arena) Alloc(n int) pmem.Addr {
+	c := sizeClass(n)
+	a.allocs++
+	if fl := a.free[c]; len(fl) > 0 {
+		p := fl[len(fl)-1]
+		a.free[c] = fl[:len(fl)-1]
+		a.recycleHit++
+		return p
+	}
+	align := uint64(c)
+	if align > pmem.WordsPerLine {
+		align = pmem.WordsPerLine
+	}
+	for {
+		start := (a.chunk + align - 1) &^ (align - 1)
+		if start+uint64(c) <= a.chunkEnd {
+			a.chunk = start + uint64(c)
+			return pmem.Addr(start)
+		}
+		a.chunk, a.chunkEnd = a.h.grabChunk(c)
+	}
+}
+
+// Free recycles a block of n words previously returned by Alloc. The block
+// joins this arena's free list regardless of which arena allocated it.
+//
+// Note on safety: Free reuses immediately and is only safe for blocks no
+// other thread can still reference (never-shared nodes, lock-protected
+// removals). Lock-free structures must route shared blocks through
+// reclaim.Handle.Retire, which defers this call past an epoch grace
+// period — the role ssmem plays in the paper's artifact.
+func (a *Arena) Free(p pmem.Addr, n int) {
+	c := sizeClass(n)
+	a.frees++
+	a.free[c] = append(a.free[c], p)
+}
+
+// AllocStats reports allocation counters (tests and diagnostics).
+func (a *Arena) AllocStats() (allocs, frees, recycled uint64) {
+	return a.allocs, a.frees, a.recycleHit
+}

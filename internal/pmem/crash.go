@@ -1,0 +1,92 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// CrashImage materializes the persistent state that would survive a power
+// failure at this instant. All registered threads must be stopped (crashed
+// or quiescent); their un-fenced write-back queues are consumed according
+// to mode. The returned slice is an independent copy safe to hand to
+// NewFromImage.
+//
+// Under RandomSubset, two nondeterministic hardware effects are modeled
+// with the seeded RNG: (1) each pending write-back independently may or may
+// not have drained before the failure, and (2) each dirty line may have
+// been evicted by the cache and persisted even though the program never
+// flushed it. Both operate at whole-line granularity, as real caches do.
+func (m *Memory) CrashImage(mode CrashMode, seed int64) []uint64 {
+	img := make([]uint64, len(m.shadow))
+	if mode == PersistAll {
+		for i := range img {
+			img[i] = atomic.LoadUint64(&m.words[i])
+		}
+		return img
+	}
+	for i := range img {
+		img[i] = atomic.LoadUint64(&m.shadow[i])
+	}
+	if mode == DropUnfenced {
+		return img
+	}
+	rng := rand.New(rand.NewSource(seed))
+	copyLine := func(l Line) {
+		base := Addr(l) << LineShift
+		for i := Addr(0); i < WordsPerLine; i++ {
+			img[base+i] = atomic.LoadUint64(&m.words[base+i])
+		}
+	}
+	// (1) pending write-backs race the failure.
+	for _, t := range m.Threads() {
+		for _, l := range t.pending {
+			if rng.Intn(2) == 0 {
+				copyLine(l)
+			}
+		}
+	}
+	// (2) background evictions persist a random subset of dirty lines.
+	lines := len(m.words) / WordsPerLine
+	for l := 0; l < lines; l++ {
+		base := l << LineShift
+		dirty := false
+		for i := 0; i < WordsPerLine; i++ {
+			if atomic.LoadUint64(&m.words[base+i]) != img[base+i] {
+				dirty = true
+				break
+			}
+		}
+		if dirty && rng.Intn(2) == 0 {
+			copyLine(Line(l))
+		}
+	}
+	return img
+}
+
+// DirtyLines counts lines whose volatile content differs from the
+// persistent shadow (test helper; threads should be quiescent).
+func (m *Memory) DirtyLines() int {
+	n := 0
+	lines := len(m.words) / WordsPerLine
+	for l := 0; l < lines; l++ {
+		base := l << LineShift
+		for i := 0; i < WordsPerLine; i++ {
+			if atomic.LoadUint64(&m.words[base+i]) != atomic.LoadUint64(&m.shadow[base+i]) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// PersistedWord reads a word from the persistent shadow (test helper).
+func (m *Memory) PersistedWord(a Addr) uint64 {
+	return atomic.LoadUint64(&m.shadow[a])
+}
+
+// VolatileWord reads a word from the volatile layer without a Thread
+// (test and recovery helper).
+func (m *Memory) VolatileWord(a Addr) uint64 {
+	return atomic.LoadUint64(&m.words[a])
+}

@@ -1,0 +1,31 @@
+package pmem_test
+
+import (
+	"fmt"
+
+	"flit/internal/pmem"
+)
+
+// Example_crashSemantics shows why persistent programming is hard: a
+// store alone survives nothing, a flush alone survives nothing, only
+// flush + fence is durable.
+func Example_crashSemantics() {
+	mem := pmem.New(pmem.Config{Words: 1 << 10})
+	th := mem.RegisterThread()
+
+	th.Store(8, 1) // stored, never flushed
+	th.Store(24, 3)
+	th.PWB(24)
+	th.PFence() // flushed and fenced: durable
+	th.Store(16, 2)
+	th.PWB(16) // flushed after the fence: still pending at the crash
+
+	img := mem.CrashImage(pmem.DropUnfenced, 0)
+	fmt.Println("stored only:   ", img[8])
+	fmt.Println("flushed only:  ", img[16])
+	fmt.Println("flushed+fenced:", img[24])
+	// Output:
+	// stored only:    0
+	// flushed only:   0
+	// flushed+fenced: 3
+}

@@ -1,0 +1,68 @@
+package pmem
+
+import "testing"
+
+// FuzzInstructionSequences drives arbitrary single-threaded instruction
+// programs: the volatile layer must match a reference map, every crash
+// image must be per-word explainable, and nothing may panic.
+func FuzzInstructionSequences(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, int64(1))
+	f.Add([]byte{5, 4, 3, 2, 1, 0}, int64(42))
+	f.Fuzz(func(t *testing.T, prog []byte, seed int64) {
+		if len(prog) > 256 {
+			prog = prog[:256]
+		}
+		m := newMem(512)
+		th := m.RegisterThread()
+		ref := make(map[Addr]uint64)
+		written := make(map[Addr]map[uint64]bool)
+		note := func(a Addr, v uint64) {
+			if written[a] == nil {
+				written[a] = map[uint64]bool{0: true}
+			}
+			written[a][v] = true
+		}
+		for i, b := range prog {
+			a := Addr(8 + uint64(b)%400)
+			v := uint64(i + 1)
+			switch b % 6 {
+			case 0:
+				th.Store(a, v)
+				ref[a] = v
+				note(a, v)
+			case 1:
+				if th.Load(a) != ref[a] {
+					t.Fatalf("load mismatch at %d", a)
+				}
+			case 2:
+				if th.CAS(a, ref[a], v) {
+					ref[a] = v
+					note(a, v)
+				} else {
+					t.Fatalf("CAS with current value failed at %d", a)
+				}
+			case 3:
+				th.FAA(a, 3)
+				ref[a] += 3
+				note(a, ref[a])
+			case 4:
+				th.PWB(a)
+			case 5:
+				th.PFence()
+			}
+		}
+		for a, v := range ref {
+			if th.Load(a) != v {
+				t.Fatalf("final volatile mismatch at %d", a)
+			}
+		}
+		for _, mode := range []CrashMode{DropUnfenced, RandomSubset, PersistAll} {
+			img := m.CrashImage(mode, seed)
+			for a, vals := range written {
+				if !vals[img[a]] {
+					t.Fatalf("mode %v: image[%d]=%d never written", mode, a, img[a])
+				}
+			}
+		}
+	})
+}

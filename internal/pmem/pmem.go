@@ -1,0 +1,256 @@
+// Package pmem simulates byte-addressable non-volatile memory with volatile
+// caches, the substrate the FliT paper assumes (Intel Optane DC + Cascade
+// Lake clwb/sfence in the original; a software model here).
+//
+// Memory is an array of 64-bit words grouped into cache lines of
+// WordsPerLine words. All loads, stores and read-modify-write instructions
+// operate on the volatile layer. A PWB ("persistent write-back", the
+// paper's architecture-agnostic name for clwb/DC CVAP) enqueues the word's
+// cache line into the issuing thread's write-back queue; a PFence drains
+// that queue, copying the lines' current volatile contents into the
+// persistent shadow. Upon a simulated crash the volatile layer is lost and
+// the persistent image is materialized under a configurable CrashMode:
+// lines that were written but never flushed+fenced may or may not have
+// reached persistence (background cache evictions), exactly the hazard
+// persistent algorithms must tolerate.
+//
+// Flush and fence latency is modeled with calibrated spin loops so that,
+// as on real hardware, a PWB costs an order of magnitude more than a load
+// and a PFence pays per pending write-back. An optional mode reproduces
+// the Cascade Lake clwb behaviour observed in the paper (§6.6): flushing a
+// line also invalidates it, charging a miss penalty to the line's next
+// access.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a word index into simulated persistent memory. Addr 0 is reserved
+// and acts as the nil pointer for offset-based data structures.
+type Addr uint64
+
+// NilAddr is the reserved null address.
+const NilAddr Addr = 0
+
+const (
+	// LineShift is log2 of WordsPerLine.
+	LineShift = 3
+	// WordsPerLine is the cache line size in 64-bit words (64 bytes).
+	WordsPerLine = 1 << LineShift
+	// lineMask isolates the word-within-line bits of an address.
+	lineMask = WordsPerLine - 1
+)
+
+// Line identifies a cache line (an aligned group of WordsPerLine words).
+type Line uint64
+
+// LineOf returns the cache line containing address a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// ErrCrashed is the panic value raised by crash injection. Worker
+// goroutines run under RunToCrash (or their own recover) translate it into
+// a clean stop; any other panic is re-raised.
+var ErrCrashed = errors.New("pmem: simulated crash")
+
+// CrashMode selects how un-fenced data behaves when a crash image is taken.
+type CrashMode int
+
+const (
+	// DropUnfenced keeps only explicitly fenced write-backs: every line
+	// that was dirty but not flushed+fenced is lost. The most adversarial
+	// mode with respect to losing data.
+	DropUnfenced CrashMode = iota
+	// RandomSubset applies a random subset of pending write-backs and
+	// additionally "evicts" (persists) a random subset of dirty lines,
+	// modeling background cache evictions that persist data the program
+	// never flushed. Whole lines persist atomically, as on hardware.
+	RandomSubset
+	// PersistAll persists the entire volatile state (eADR-like). Useful as
+	// a control: every correct algorithm must also pass under it.
+	PersistAll
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case DropUnfenced:
+		return "drop-unfenced"
+	case RandomSubset:
+		return "random-subset"
+	case PersistAll:
+		return "persist-all"
+	default:
+		return fmt.Sprintf("CrashMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a simulated memory.
+type Config struct {
+	// Words is the total number of 64-bit words (rounded up to a whole
+	// number of cache lines). Word 0 is reserved as nil.
+	Words int
+	// PWBCost is the spin cost charged per PWB instruction.
+	PWBCost int
+	// PFenceCost is the base spin cost charged per PFence instruction.
+	PFenceCost int
+	// PFenceEntryCost is the additional spin cost per pending write-back
+	// drained by a PFence.
+	PFenceEntryCost int
+	// InvalidateOnPWB, when true, models the Cascade Lake clwb behaviour:
+	// a PWB invalidates the line and the next access to it (by any thread)
+	// pays MissCost. The paper attributes flit-adjacent's extra flushes in
+	// Figure 9 to exactly this.
+	InvalidateOnPWB bool
+	// MissCost is the spin cost of the post-invalidation miss.
+	MissCost int
+}
+
+// DefaultConfig returns a configuration whose latency ratios roughly track
+// the paper's hardware: a flush is ~20-40x a cached load, and a fence on a
+// non-empty write-back queue is more expensive still.
+func DefaultConfig(words int) Config {
+	return Config{
+		Words:           words,
+		PWBCost:         300,
+		PFenceCost:      20, // an sfence with an empty write-back queue is nearly free
+		PFenceEntryCost: 150,
+		MissCost:        200,
+	}
+}
+
+// Memory is a simulated persistent memory: a volatile word array backed by
+// a persistent shadow. All instruction methods live on Thread; Memory
+// carries the shared state and thread registry.
+type Memory struct {
+	cfg    Config
+	words  []uint64 // volatile layer; accessed with sync/atomic
+	shadow []uint64 // persistent layer; accessed with sync/atomic
+	inval  []uint32 // per-line invalidation flags, nil unless configured
+
+	// drainLock serializes write-backs of one line into the shadow. On
+	// hardware, cache coherence gives each line a single owner, so an
+	// older line value can never overwrite a newer one in memory; without
+	// this lock two racing fence drains could interleave their
+	// load-then-store copies and regress the shadow.
+	drainLock []uint32
+
+	crashArmed atomic.Bool
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// New creates a simulated memory of cfg.Words words. The persistent shadow
+// starts equal to the (all-zero) volatile layer.
+func New(cfg Config) *Memory {
+	if cfg.Words < WordsPerLine {
+		cfg.Words = WordsPerLine
+	}
+	// Round up to whole lines so line copies never run off the end.
+	cfg.Words = (cfg.Words + lineMask) &^ lineMask
+	m := &Memory{
+		cfg:       cfg,
+		words:     make([]uint64, cfg.Words),
+		shadow:    make([]uint64, cfg.Words),
+		drainLock: make([]uint32, cfg.Words/WordsPerLine),
+	}
+	if cfg.InvalidateOnPWB {
+		m.inval = make([]uint32, cfg.Words/WordsPerLine)
+	}
+	return m
+}
+
+// NewFromImage creates a memory whose volatile and persistent layers both
+// start from a crash image, modeling post-crash recovery: the system
+// reboots and sees exactly the persisted bytes.
+func NewFromImage(img []uint64, cfg Config) *Memory {
+	cfg.Words = len(img)
+	m := New(cfg)
+	copy(m.words, img)
+	copy(m.shadow, img)
+	return m
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// SetCosts adjusts the latency model. Benchmark harnesses zero the costs
+// during prefill so setup is not charged, then restore them for the
+// measured run. Callers must be quiescent: the fields are read without
+// synchronization on the instruction hot path.
+func (m *Memory) SetCosts(pwb, pfence, pfenceEntry, miss int) {
+	m.cfg.PWBCost = pwb
+	m.cfg.PFenceCost = pfence
+	m.cfg.PFenceEntryCost = pfenceEntry
+	m.cfg.MissCost = miss
+}
+
+// Words returns the number of addressable words.
+func (m *Memory) Words() int { return len(m.words) }
+
+// RegisterThread allocates a Thread handle. Every goroutine issuing memory
+// instructions must own a distinct Thread: write-back queues and statistics
+// are thread-local, mirroring per-core store buffers.
+func (m *Memory) RegisterThread() *Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Thread{M: m, ID: len(m.threads), crashIn: -1}
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// Threads returns all registered threads.
+func (m *Memory) Threads() []*Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Thread(nil), m.threads...)
+}
+
+// ArmCrash makes every subsequent instrumented instruction panic with
+// ErrCrashed. Workers running under RunToCrash stop at instruction
+// granularity, leaving their un-fenced write-backs pending — exactly the
+// state a real power failure would freeze.
+func (m *Memory) ArmCrash() { m.crashArmed.Store(true) }
+
+// CrashArmed reports whether a crash has been requested.
+func (m *Memory) CrashArmed() bool { return m.crashArmed.Load() }
+
+// DisarmCrash clears a previously armed crash (test helper).
+func (m *Memory) DisarmCrash() { m.crashArmed.Store(false) }
+
+// TotalStats sums the statistics of all registered threads.
+func (m *Memory) TotalStats() Stats {
+	var s Stats
+	for _, t := range m.Threads() {
+		s.Add(&t.Stats)
+	}
+	return s
+}
+
+// ResetStats zeroes the statistics of all registered threads. Callers must
+// ensure no thread is concurrently issuing instructions.
+func (m *Memory) ResetStats() {
+	for _, t := range m.Threads() {
+		t.Stats = Stats{}
+	}
+}
+
+// RunToCrash invokes fn and converts an ErrCrashed panic into a normal
+// return of true; any other panic propagates. It returns false if fn
+// completed without crashing.
+func RunToCrash(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == ErrCrashed {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}

@@ -1,0 +1,22 @@
+package pmem
+
+import "sync/atomic"
+
+// spinSink defeats dead-code elimination of the latency loops.
+var spinSink uint64
+
+// spin burns roughly n iterations of register-only work, modeling
+// instruction latency (flush, fence, post-invalidation miss) without
+// touching shared state. n <= 0 is free.
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	x := uint64(n) | 1
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	atomic.StoreUint64(&spinSink, x)
+}

@@ -1,0 +1,181 @@
+package pmem
+
+import "sync/atomic"
+
+// Stats counts the instructions a thread issued. Fields are written only by
+// the owning thread; read them after the thread has stopped (or tolerate
+// slightly stale values).
+type Stats struct {
+	Loads    uint64 // load instructions
+	Stores   uint64 // store instructions
+	RMWs     uint64 // CAS/FAA/Exchange instructions
+	PWBs     uint64 // persistent write-backs issued
+	PFences  uint64 // fences issued
+	Drained  uint64 // pending write-backs drained by fences
+	Misses   uint64 // post-invalidation misses charged (InvalidateOnPWB)
+	Ops      uint64 // completed high-level operations (set by callers)
+	FailedOp uint64 // crashed/aborted high-level operations (set by callers)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.RMWs += o.RMWs
+	s.PWBs += o.PWBs
+	s.PFences += o.PFences
+	s.Drained += o.Drained
+	s.Misses += o.Misses
+	s.Ops += o.Ops
+	s.FailedOp += o.FailedOp
+}
+
+// PWBsPerOp returns the average number of PWB instructions per completed
+// operation, the quantity Figure 9 of the paper reports.
+func (s *Stats) PWBsPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.PWBs) / float64(s.Ops)
+}
+
+// Thread is a per-goroutine handle to the memory: it owns a write-back
+// queue (the lines PWBed but not yet fenced), statistics, and crash
+// injection state. A Thread must not be shared between goroutines.
+type Thread struct {
+	M     *Memory
+	ID    int
+	Stats Stats
+
+	// pending holds lines flushed since the last fence. A fence copies
+	// their then-current volatile contents into the persistent shadow,
+	// matching hardware, where the write-back reads the coherent line at
+	// drain time, not at clwb time.
+	pending []Line
+
+	// crashIn, when >= 0, counts down instrumented instructions and
+	// injects a crash when it reaches zero (deterministic crash points).
+	crashIn int64
+}
+
+// SetCrashAfter arranges for the thread to crash (panic ErrCrashed) after n
+// more CheckCrash calls. n < 0 disables the countdown.
+func (t *Thread) SetCrashAfter(n int64) { t.crashIn = n }
+
+// CheckCrash injects a crash if one is armed globally or the thread's
+// countdown expired. Instrumented instruction wrappers (internal/core)
+// call it once per instruction, so crashes land between — never inside —
+// atomic memory instructions, as on real hardware.
+func (t *Thread) CheckCrash() {
+	if t.crashIn >= 0 {
+		if t.crashIn == 0 {
+			t.crashIn = -1
+			panic(ErrCrashed)
+		}
+		t.crashIn--
+	}
+	if t.M.crashArmed.Load() {
+		panic(ErrCrashed)
+	}
+}
+
+// touch charges the post-invalidation miss if the line was flushed under
+// InvalidateOnPWB and nobody has re-fetched it yet.
+func (t *Thread) touch(a Addr) {
+	m := t.M
+	if m.inval == nil {
+		return
+	}
+	l := LineOf(a)
+	if atomic.LoadUint32(&m.inval[l]) != 0 && atomic.SwapUint32(&m.inval[l], 0) != 0 {
+		t.Stats.Misses++
+		spin(m.cfg.MissCost)
+	}
+}
+
+// Load atomically reads the volatile value at a.
+func (t *Thread) Load(a Addr) uint64 {
+	t.touch(a)
+	t.Stats.Loads++
+	return atomic.LoadUint64(&t.M.words[a])
+}
+
+// Store atomically writes v to the volatile value at a.
+func (t *Thread) Store(a Addr, v uint64) {
+	t.touch(a)
+	t.Stats.Stores++
+	atomic.StoreUint64(&t.M.words[a], v)
+}
+
+// CAS atomically compares-and-swaps the volatile value at a.
+func (t *Thread) CAS(a Addr, old, new uint64) bool {
+	t.touch(a)
+	t.Stats.RMWs++
+	return atomic.CompareAndSwapUint64(&t.M.words[a], old, new)
+}
+
+// FAA atomically adds delta to the volatile value at a and returns the
+// previous value.
+func (t *Thread) FAA(a Addr, delta uint64) uint64 {
+	t.touch(a)
+	t.Stats.RMWs++
+	return atomic.AddUint64(&t.M.words[a], delta) - delta
+}
+
+// Exchange atomically swaps the volatile value at a with v and returns the
+// previous value.
+func (t *Thread) Exchange(a Addr, v uint64) uint64 {
+	t.touch(a)
+	t.Stats.RMWs++
+	return atomic.SwapUint64(&t.M.words[a], v)
+}
+
+// PWB issues a persistent write-back of the cache line containing a. The
+// line is queued on the thread's write-back queue; it becomes persistent
+// only once a subsequent PFence drains it (or if a crash-time eviction
+// happens to persist it under CrashMode RandomSubset).
+func (t *Thread) PWB(a Addr) {
+	t.Stats.PWBs++
+	l := LineOf(a)
+	// Cheap adjacent-duplicate suppression: instrumented code frequently
+	// flushes the same line back-to-back (e.g. Plain policy traversals).
+	if n := len(t.pending); n == 0 || t.pending[n-1] != l {
+		t.pending = append(t.pending, l)
+	}
+	m := t.M
+	if m.inval != nil {
+		atomic.StoreUint32(&m.inval[l], 1)
+	}
+	spin(m.cfg.PWBCost)
+}
+
+// PFence drains the thread's write-back queue: every pending line's
+// current volatile content is copied, word by word, into the persistent
+// shadow. After PFence returns, everything the thread flushed is durable.
+func (t *Thread) PFence() {
+	t.Stats.PFences++
+	m := t.M
+	n := len(t.pending)
+	for _, l := range t.pending {
+		// Serialize per-line write-backs, as coherence does on hardware:
+		// whichever drain runs second re-reads the volatile line, so the
+		// shadow can only move forward.
+		for !atomic.CompareAndSwapUint32(&m.drainLock[l], 0, 1) {
+		}
+		base := Addr(l) << LineShift
+		for i := Addr(0); i < WordsPerLine; i++ {
+			v := atomic.LoadUint64(&m.words[base+i])
+			atomic.StoreUint64(&m.shadow[base+i], v)
+		}
+		atomic.StoreUint32(&m.drainLock[l], 0)
+	}
+	t.pending = t.pending[:0]
+	t.Stats.Drained += uint64(n)
+	spin(m.cfg.PFenceCost + n*m.cfg.PFenceEntryCost)
+}
+
+// PendingLines returns a copy of the thread's un-fenced write-back queue
+// (test and crash-image helper).
+func (t *Thread) PendingLines() []Line {
+	return append([]Line(nil), t.pending...)
+}

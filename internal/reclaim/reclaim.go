@@ -1,0 +1,146 @@
+// Package reclaim provides epoch-based memory reclamation (EBR) for the
+// lock-free data structures, standing in for the ssmem epoch allocator the
+// paper's artifact uses. Without it, immediate reuse of freed nodes would
+// let concurrent traversals chase re-initialized memory — an ABA hazard the
+// simulation would hit just like native code.
+//
+// The scheme is Fraser-style 3-bucket EBR: threads announce the global
+// epoch on entering an operation and announce quiescence on leaving; a
+// block retired in epoch e is recycled only once the global epoch reaches
+// e+2, by which time every thread that could have held a reference has
+// left its critical section.
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+// quiescent marks a thread that is not inside an operation.
+const quiescent = ^uint64(0)
+
+// advancePeriod is how many retirements a handle buffers between attempts
+// to advance the global epoch.
+const advancePeriod = 64
+
+// slot is a cache-line padded epoch announcement.
+type slot struct {
+	announce atomic.Uint64
+	_        [7]uint64 // pad to a cache line to avoid false sharing
+}
+
+// Domain is a reclamation domain shared by all threads operating on one
+// data structure instance.
+type Domain struct {
+	epoch atomic.Uint64
+
+	mu    sync.Mutex
+	slots []*slot
+}
+
+// NewDomain creates an empty reclamation domain.
+func NewDomain() *Domain { return &Domain{} }
+
+type retired struct {
+	p pmem.Addr
+	n int
+}
+
+// Handle is a thread-private attachment to a Domain. Each worker goroutine
+// must own its own Handle.
+type Handle struct {
+	d     *Domain
+	s     *slot
+	arena *pheap.Arena
+
+	bags     [3][]retired
+	bagEpoch [3]uint64
+	sinceAdv int
+}
+
+// NewHandle registers a thread with the domain. Freed blocks are returned
+// to arena once safe.
+func (d *Domain) NewHandle(arena *pheap.Arena) *Handle {
+	s := &slot{}
+	s.announce.Store(quiescent)
+	d.mu.Lock()
+	d.slots = append(d.slots, s)
+	d.mu.Unlock()
+	return &Handle{d: d, s: s, arena: arena}
+}
+
+// Enter pins the current epoch; call at the start of every data structure
+// operation, paired with Exit.
+func (h *Handle) Enter() {
+	h.s.announce.Store(h.d.epoch.Load())
+}
+
+// Exit announces quiescence; the thread must hold no references to shared
+// nodes after this point.
+func (h *Handle) Exit() {
+	h.s.announce.Store(quiescent)
+}
+
+// Retire schedules the n-word block at p for reuse once no concurrent
+// operation can still reference it.
+func (h *Handle) Retire(p pmem.Addr, n int) {
+	e := h.d.epoch.Load()
+	idx := e % 3
+	if h.bagEpoch[idx] != e {
+		// The bucket belongs to an epoch ≥ 3 behind; its blocks are safe.
+		h.drain(idx)
+		h.bagEpoch[idx] = e
+	}
+	h.bags[idx] = append(h.bags[idx], retired{p, n})
+	h.sinceAdv++
+	if h.sinceAdv >= advancePeriod {
+		h.sinceAdv = 0
+		h.tryAdvance()
+	}
+}
+
+// drain returns every block in bucket idx to the arena.
+func (h *Handle) drain(idx uint64) {
+	for _, r := range h.bags[idx] {
+		h.arena.Free(r.p, r.n)
+	}
+	h.bags[idx] = h.bags[idx][:0]
+}
+
+// tryAdvance bumps the global epoch if every non-quiescent thread has
+// caught up to it, then frees this handle's now-safe bucket.
+func (h *Handle) tryAdvance() {
+	d := h.d
+	e := d.epoch.Load()
+	d.mu.Lock()
+	slots := d.slots
+	d.mu.Unlock()
+	for _, s := range slots {
+		a := s.announce.Load()
+		if a != quiescent && a != e {
+			return // a straggler pins epoch e-1 or e
+		}
+	}
+	if d.epoch.CompareAndSwap(e, e+1) {
+		ne := e + 1
+		idx := ne % 3
+		if h.bagEpoch[idx] != ne && len(h.bags[idx]) > 0 {
+			h.drain(idx)
+			h.bagEpoch[idx] = ne
+		}
+	}
+}
+
+// Flush force-drains all buckets. Only call when no other thread is inside
+// an operation (e.g. test teardown).
+func (h *Handle) Flush() {
+	for i := uint64(0); i < 3; i++ {
+		h.drain(i)
+	}
+}
+
+// Epoch returns the domain's current global epoch (diagnostics).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
