@@ -16,6 +16,8 @@ import (
 	"flit/internal/harness"
 	"flit/internal/pheap"
 	"flit/internal/pmem"
+	"flit/internal/store"
+	"flit/internal/workload"
 )
 
 func benchOpts() harness.Options {
@@ -274,6 +276,107 @@ func BenchmarkSetInsertDelete(b *testing.B) {
 				k := uint64(i*2654435761)%10_000 + 1
 				th.Insert(k, k)
 				th.Delete(k)
+			}
+		})
+	}
+}
+
+// --- FliT-Store service-layer benchmarks ---
+
+func newBenchStore(b *testing.B, shards, keys int) *store.Store {
+	b.Helper()
+	st, err := store.New(store.Options{
+		Shards: shards, ExpectedKeys: keys, Policy: harness.PolHT,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStorePut measures the session upsert hot path: hash, shard
+// route, durable insert-or-overwrite (8 shards, flit-HT, automatic).
+func BenchmarkStorePut(b *testing.B) {
+	const keys = 1 << 15
+	st := newBenchStore(b, 8, keys)
+	sess := st.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & (keys - 1)
+		sess.Put(workload.Key(k), uint64(i))
+	}
+}
+
+// BenchmarkStoreGet measures the read hot path on a loaded store.
+func BenchmarkStoreGet(b *testing.B) {
+	const keys = 1 << 14
+	st := newBenchStore(b, 8, keys)
+	workload.Load(st, keys, runtime.GOMAXPROCS(0))
+	sess := st.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Get(workload.Key(uint64(i*2654435761) % keys))
+	}
+}
+
+// BenchmarkStoreWorkload runs the YCSB-style mixes; each iteration is one
+// timed window, with throughput and tail latency reported as metrics.
+func BenchmarkStoreWorkload(b *testing.B) {
+	const records = 10_000
+	for _, mix := range []string{"a", "b", "c", "f"} {
+		for _, dist := range []string{workload.DistUniform, workload.DistZipfian} {
+			b.Run(mix+"/"+dist, func(b *testing.B) {
+				st := newBenchStore(b, 8, records*2)
+				workload.Load(st, records, runtime.GOMAXPROCS(0))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := workload.Run(st, workload.Spec{
+						Mix: mix, Dist: dist,
+						Threads:  runtime.GOMAXPROCS(0),
+						Duration: 50 * time.Millisecond,
+						Records:  records, Seed: int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.OpsPerSec, "ops/s")
+					b.ReportMetric(float64(res.P99.Nanoseconds()), "p99_ns")
+					b.ReportMetric(res.PWBsPerOp, "pwbs/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStoreRecovery measures shard-parallel post-crash rebuild of a
+// loaded store; the serial/parallel ratio is reported as a metric.
+func BenchmarkStoreRecovery(b *testing.B) {
+	const records = 20_000
+	for _, shards := range []int{1, 8} {
+		b.Run(map[int]string{1: "shards=1", 8: "shards=8"}[shards], func(b *testing.B) {
+			st := newBenchStore(b, shards, records*2)
+			workload.Load(st, records, runtime.GOMAXPROCS(0))
+			wm := st.Heap().Watermark()
+			img := st.Mem().CrashImage(pmem.DropUnfenced, 7)
+			cfg := st.Mem().Config()
+			opts := st.Opts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				mem2 := pmem.NewFromImage(img, cfg)
+				b.StartTimer()
+				_, rs, err := store.Recover(mem2, wm, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var serial time.Duration
+				for _, d := range rs.Shards {
+					serial += d
+				}
+				if rs.Elapsed > 0 {
+					b.ReportMetric(float64(serial)/float64(rs.Elapsed), "x_parallel")
+				}
+				b.ReportMetric(float64(rs.Keys), "keys")
 			}
 		})
 	}

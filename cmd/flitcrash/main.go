@@ -24,42 +24,40 @@ import (
 )
 
 func policyByName(name string, words int) core.Policy {
-	switch name {
-	case "flit-ht":
-		return core.NewFliT(core.NewHashTable(1 << 14))
-	case "flit-adjacent":
-		return core.NewFliT(core.Adjacent{})
-	case "flit-packed":
-		return core.NewFliT(core.NewPackedHashTable(1 << 12))
-	case "flit-perline":
-		return core.NewFliT(core.NewDirectMap(words))
-	case "plain":
-		return core.Plain{}
-	case "link-and-persist":
-		return core.LinkAndPersist{}
-	default:
-		fmt.Fprintf(os.Stderr, "flitcrash: unknown policy %q\n", name)
+	// The no-persist baseline fails durable-linearizability checks by
+	// design; running it here would report its losses as violations.
+	if name == core.PolicyNoPersist {
+		fmt.Fprintf(os.Stderr, "flitcrash: policy %q cannot pass a crash check by design; pick a persisting policy\n", name)
 		os.Exit(2)
-		return nil
 	}
+	// Crash testing wants small counter tables: collisions only add
+	// flushes, and small tables stress the hashing harder.
+	htBytes := 1 << 14
+	if name == core.PolicyPacked {
+		htBytes = 1 << 12
+	}
+	pol, err := core.NewPolicyByName(name, words, htBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flitcrash: %v\n", err)
+		os.Exit(2)
+	}
+	return pol
 }
 
 func modeByName(name string) dstruct.Mode {
-	for _, m := range dstruct.Modes {
-		if m.String() == name {
-			return m
-		}
+	m, ok := dstruct.ModeByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flitcrash: unknown mode %q (known: %v)\n", name, dstruct.Modes)
+		os.Exit(2)
 	}
-	fmt.Fprintf(os.Stderr, "flitcrash: unknown mode %q\n", name)
-	os.Exit(2)
-	return 0
+	return m
 }
 
 func main() {
 	rounds := flag.Int("rounds", 60, "seeded crash rounds per combination")
 	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst)")
 	modeFilter := flag.String("mode", "", "restrict to one durability mode (automatic|nvtraverse|manual)")
-	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|link-and-persist)")
+	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|izraelevitz|link-and-persist)")
 	seed0 := flag.Int64("seed", 1, "first seed")
 	verbose := flag.Bool("v", false, "print every round")
 	flag.Parse()

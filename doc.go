@@ -32,9 +32,23 @@
 //   - internal/audit:  a runtime P-V Interface conformance checker that
 //     localizes Definition-1 violations to the offending instruction
 //   - internal/hist:   a durable-linearizability checker for set histories
+//   - internal/crashtest: randomized crash-recovery validation for single
+//     structures and whole stores
 //   - internal/harness: the workload driver regenerating every figure of
 //     the paper's evaluation section
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results. Start with examples/quickstart.
+// Above the paper's scope, the service layer exercises FliT at
+// production shape:
+//
+//   - internal/store:  FliT-Store, a sharded durable key-value store —
+//     string keys hashed into the instrumented keyspace, one hashtable
+//     shard per persistent root, a self-describing superblock, and
+//     shard-parallel post-crash recovery
+//   - internal/workload: a YCSB-style workload subsystem (mixes A-F,
+//     uniform/zipfian/latest distributions, latency histograms) driven
+//     by cmd/flitstore, which emits JSON performance reports
+//
+// See DESIGN.md for the package inventory and EXPERIMENTS.md for how to
+// regenerate the paper's figures and the store's performance reports.
+// Start with examples/quickstart.
 package flit

@@ -1,0 +1,3 @@
+module flit
+
+go 1.24

@@ -42,10 +42,20 @@ func TestDurableLinearizability(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:2]
 	}
+	pols := func(memWords int, withLAP bool) []core.Policy {
+		ps := policies(memWords, withLAP)
+		if testing.Short() {
+			// Keep one FliT scheme plus the plain baseline; the full
+			// matrix runs in the default (scheduled/full) suite.
+			ps = ps[:1]
+			ps = append(ps, core.Plain{})
+		}
+		return ps
+	}
 	crashModes := []pmem.CrashMode{pmem.DropUnfenced, pmem.RandomSubset, pmem.PersistAll}
 	for _, target := range Targets() {
 		for _, mode := range dstruct.Modes {
-			for _, pol := range policies(1<<20, target.WithLAP) {
+			for _, pol := range pols(1<<20, target.WithLAP) {
 				name := fmt.Sprintf("%s/%s/%s", target.Name, mode, pol.Name())
 				t.Run(name, func(t *testing.T) {
 					for _, cm := range crashModes {

@@ -1,0 +1,153 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"flit/internal/hist"
+	"flit/internal/pmem"
+	"flit/internal/store"
+)
+
+// StoreOptions parameterizes one whole-store crash round.
+type StoreOptions struct {
+	Workers int
+	// OpsPerWorker is each worker's budget (workers usually crash first).
+	OpsPerWorker int
+	// KeyRange draws key indices from [0, KeyRange); KeyOf renders them as
+	// store keys. RunStore widens a too-small range so per-key histories
+	// stay inside the checker's 64-op exact window.
+	KeyRange uint64
+	KeyOf    func(uint64) string
+	// MinCrash/MaxCrash bound the per-worker instruction countdowns.
+	MinCrash, MaxCrash int64
+	CrashMode          pmem.CrashMode
+	Seed               int64
+}
+
+// DefaultStoreOptions mirrors DefaultOptions at service granularity.
+func DefaultStoreOptions(seed int64, mode pmem.CrashMode) StoreOptions {
+	return StoreOptions{
+		Workers: 4, OpsPerWorker: 96, KeyRange: 256,
+		MinCrash: 200, MaxCrash: 6000,
+		CrashMode: mode, Seed: seed,
+	}
+}
+
+// StoreVerdict is the outcome of one store crash round.
+type StoreVerdict struct {
+	// Violation is nil when the recovered state is durably linearizable.
+	Violation *hist.Violation
+	// Store is the recovered instance (usable for the next cycle).
+	Store *store.Store
+	// Recovery reports the shard-parallel rebuild.
+	Recovery store.RecoveryStats
+	// RecordedOps counts operations the workers invoked (completed or
+	// pending at the crash); Crashed counts workers the crash interrupted.
+	RecordedOps int
+	Crashed     int
+}
+
+// RunStore executes one seeded crash-recovery round against a whole
+// store: workers run recorded Put/Get/Delete streams through sessions,
+// each crashing at a seeded instruction countdown; the persistent image
+// is materialized, every shard is recovered in parallel, and the
+// recovered key set is checked for durable linearizability against the
+// recorded multi-key history. The pre-round snapshot is the initial
+// state, so RunStore composes with unrecorded load/run phases before it.
+func RunStore(st *store.Store, opts StoreOptions) (StoreVerdict, error) {
+	if opts.KeyOf == nil {
+		opts.KeyOf = func(i uint64) string { return fmt.Sprintf("key-%d", i) }
+	}
+	// Keep expected per-key op counts ≤ ~4 so the exact checker's 64-op
+	// cap holds with overwhelming probability even on the hottest key.
+	if min := uint64(opts.Workers*opts.OpsPerWorker)/4 + 1; opts.KeyRange < min {
+		opts.KeyRange = min
+	}
+	if opts.MaxCrash < opts.MinCrash {
+		opts.MaxCrash = opts.MinCrash
+	}
+
+	initial := make(map[uint64]bool)
+	for k := range st.Snapshot() {
+		initial[k] = true
+	}
+
+	clock := &hist.Clock{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	recs := make([]*hist.Recorder, opts.Workers)
+	sessions := make([]*store.Session, opts.Workers)
+	countdowns := make([]int64, opts.Workers)
+	seeds := make([]int64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		recs[w] = hist.NewRecorder(clock)
+		sessions[w] = st.NewSession()
+		countdowns[w] = opts.MinCrash + rng.Int63n(opts.MaxCrash-opts.MinCrash+1)
+		seeds[w] = rng.Int63()
+	}
+
+	var crashed, recorded int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := sessions[w]
+			rec := recs[w]
+			wrng := rand.New(rand.NewSource(seeds[w]))
+			sess.Thread().SetCrashAfter(countdowns[w])
+			n := 0
+			c := pmem.RunToCrash(func() {
+				for i := 0; i < opts.OpsPerWorker; i++ {
+					idx := uint64(wrng.Int63()) % opts.KeyRange
+					key := opts.KeyOf(idx)
+					hk := store.HashKey(key)
+					n++
+					switch wrng.Intn(3) {
+					case 0:
+						// Put maps onto set-Insert semantics: true iff the
+						// key was newly inserted.
+						tok := rec.Begin(hist.Insert, hk)
+						rec.Finish(tok, sess.Put(key, uint64(i)))
+					case 1:
+						tok := rec.Begin(hist.Delete, hk)
+						rec.Finish(tok, sess.Delete(key))
+					default:
+						tok := rec.Begin(hist.Contains, hk)
+						_, ok := sess.Get(key)
+						rec.Finish(tok, ok)
+					}
+				}
+			})
+			mu.Lock()
+			recorded += int64(n)
+			if c {
+				crashed++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	wm := st.Heap().Watermark()
+	img := st.Mem().CrashImage(opts.CrashMode, opts.Seed^0x5ca1ab1e)
+	mem2 := pmem.NewFromImage(img, st.Mem().Config())
+	st2, rstats, err := store.Recover(mem2, wm, st.Opts())
+	if err != nil {
+		return StoreVerdict{}, err
+	}
+
+	final := make(map[uint64]bool)
+	for k := range st2.Snapshot() {
+		final[k] = true
+	}
+	return StoreVerdict{
+		Violation:   hist.Check(recs, initial, final),
+		Store:       st2,
+		Recovery:    rstats,
+		RecordedOps: int(recorded),
+		Crashed:     int(crashed),
+	}, nil
+}

@@ -1,0 +1,129 @@
+package crashtest
+
+import (
+	"fmt"
+	"testing"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/pmem"
+	"flit/internal/store"
+	"flit/internal/workload"
+)
+
+func newCrashStore(t *testing.T, policy string) *store.Store {
+	return newCrashStoreMode(t, policy, dstruct.Automatic)
+}
+
+func newCrashStoreMode(t *testing.T, policy string, mode dstruct.Mode) *store.Store {
+	t.Helper()
+	st, err := store.New(store.Options{
+		Shards: 8, ExpectedKeys: 1 << 12, Policy: policy, HTBytes: 1 << 14, Mode: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreDurableLinearizability is the service-level analogue of
+// TestDurableLinearizability: whole-store histories across sessions,
+// crash injection, shard-parallel recovery, per-key exact checking.
+func TestStoreDurableLinearizability(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	crashModes := []pmem.CrashMode{pmem.DropUnfenced, pmem.RandomSubset, pmem.PersistAll}
+	policies := []string{core.PolicyHT, core.PolicyAdjacent, core.PolicyPlain, core.PolicyLAP}
+	if testing.Short() {
+		policies = policies[:2]
+	}
+	for _, policy := range policies {
+		// The service layer leans on Upsert's in-place value p-store;
+		// exercise it under every durability mode for the FliT policy,
+		// automatic-only for the rest.
+		modes := []dstruct.Mode{dstruct.Automatic}
+		if policy == core.PolicyHT {
+			modes = dstruct.Modes
+		}
+		t.Run(policy, func(t *testing.T) {
+			for _, mode := range modes {
+				for _, cm := range crashModes {
+					for _, seed := range seeds {
+						st := newCrashStoreMode(t, policy, mode)
+						workload.Load(st, 200, 2)
+						opts := DefaultStoreOptions(seed, cm)
+						opts.KeyRange = 300
+						opts.KeyOf = workload.Key
+						verdict, err := RunStore(st, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if verdict.Violation != nil {
+							t.Fatalf("mode %v crash mode %v seed %d: %v", mode, cm, seed, verdict.Violation)
+						}
+						if len(verdict.Recovery.Shards) != 8 {
+							t.Fatalf("recovery covered %d shards, want 8", len(verdict.Recovery.Shards))
+						}
+						// The recovered store must stay operational.
+						sess := verdict.Store.NewSession()
+						if !sess.Put("post", 1) || !sess.Contains("post") || !sess.Delete("post") {
+							t.Fatalf("mode %v crash mode %v seed %d: recovered store inoperable", mode, cm, seed)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCheckerHasTeeth: the no-persist baseline under DropUnfenced
+// must lose completed operations — and the checker must notice.
+func TestStoreCheckerHasTeeth(t *testing.T) {
+	caught := false
+	for seed := int64(1); seed <= 6 && !caught; seed++ {
+		st := newCrashStore(t, core.PolicyNoPersist)
+		workload.Load(st, 200, 2)
+		opts := DefaultStoreOptions(seed, pmem.DropUnfenced)
+		opts.KeyRange = 300
+		opts.KeyOf = workload.Key
+		verdict, err := RunStore(st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caught = verdict.Violation != nil
+	}
+	if !caught {
+		t.Fatal("no-persist store passed the crash checker — the store harness has no teeth")
+	}
+}
+
+// TestStoreRepeatedCrashCycles chains crash→recover→mutate rounds on one
+// store lineage, as cmd/flitstore does with -cycles.
+func TestStoreRepeatedCrashCycles(t *testing.T) {
+	st := newCrashStore(t, core.PolicyHT)
+	workload.Load(st, 300, 2)
+	rounds := 4
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		opts := DefaultStoreOptions(int64(100+round), pmem.RandomSubset)
+		opts.KeyRange = 400
+		opts.KeyOf = workload.Key
+		verdict, err := RunStore(st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verdict.Violation != nil {
+			t.Fatalf("round %d: %v", round, verdict.Violation)
+		}
+		st = verdict.Store
+		// Mutate between crashes so each round persists fresh state.
+		sess := st.NewSession()
+		for i := 0; i < 50; i++ {
+			sess.Put(fmt.Sprintf("round%d-%d", round, i), uint64(i))
+		}
+	}
+}

@@ -19,10 +19,10 @@ func recoverer(cfg dstruct.Config) dstest.Instance {
 }
 
 func TestSequentialAgainstModel(t *testing.T) {
-	for _, cfg := range dstest.Configs(1<<20, false) {
+	for _, cfg := range dstest.ShortConfigs(dstest.Configs(1<<20, false)) {
 		cfg := cfg
 		t.Run(dstest.Label(cfg), func(t *testing.T) {
-			dstest.SequentialModel(t, cfg, factory, 96, 4000)
+			dstest.SequentialModel(t, cfg, factory, 96, dstest.Scale(4000, 8))
 		})
 	}
 }
@@ -34,13 +34,13 @@ func TestConcurrentStress(t *testing.T) {
 		}
 		cfg := cfg
 		t.Run(dstest.Label(cfg), func(t *testing.T) {
-			dstest.ConcurrentStress(t, cfg, factory, 64, 4, 4000)
+			dstest.ConcurrentStress(t, cfg, factory, 64, 4, dstest.Scale(4000, 4))
 		})
 	}
 }
 
 func TestCleanRecovery(t *testing.T) {
-	for _, cfg := range dstest.Configs(1<<20, false) {
+	for _, cfg := range dstest.ShortConfigs(dstest.Configs(1<<20, false)) {
 		if cfg.Policy.Name() == "no-persist" {
 			continue
 		}
@@ -125,5 +125,5 @@ func TestExternalTreeInvariants(t *testing.T) {
 
 func TestRepeatedCrashes(t *testing.T) {
 	cfg := dstest.Configs(1<<22, false)[0]
-	dstest.RepeatedCrashes(t, cfg, factory, recoverer, 4)
+	dstest.RepeatedCrashes(t, cfg, factory, recoverer, dstest.Scale(4, 2))
 }

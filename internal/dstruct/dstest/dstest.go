@@ -6,6 +6,7 @@ package dstest
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -66,6 +67,36 @@ func Configs(memWords int, withLAP bool) []dstruct.Config {
 
 // Label names a config for subtests.
 func Label(cfg dstruct.Config) string { return cfg.Policy.Name() + "/" + cfg.Mode.String() }
+
+// Scale returns n in the default run and n/div (floored at 1) under
+// -short, so slow suites shrink without losing default-run coverage.
+func Scale(n, div int) int {
+	if testing.Short() {
+		n /= div
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}
+
+// ShortConfigs trims a Configs matrix under -short to one FliT counter
+// scheme plus the plain and link-and-persist baselines (the three
+// persistence-ordering behaviours that differ); the default run keeps the
+// full matrix.
+func ShortConfigs(cfgs []dstruct.Config) []dstruct.Config {
+	if !testing.Short() {
+		return cfgs
+	}
+	var out []dstruct.Config
+	for _, c := range cfgs {
+		name := c.Policy.Name()
+		if strings.HasPrefix(name, "flit-HT") || name == "plain" || name == "link-and-persist" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // SequentialModel drives random single-threaded operations against a map
 // model and verifies every response and the final snapshot.

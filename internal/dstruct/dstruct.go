@@ -52,6 +52,16 @@ func (m Mode) String() string {
 // Modes lists all durability methods, in the paper's order.
 var Modes = []Mode{Automatic, NVTraverse, Manual}
 
+// ModeByName resolves a durability-mode name as printed by Mode.String.
+func ModeByName(name string) (Mode, bool) {
+	for _, m := range Modes {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // KeyMax bounds user keys (exclusive): keys at or above it are reserved
 // for sentinels and must fit the instrumented word payload.
 const KeyMax = uint64(1) << 48

@@ -8,6 +8,7 @@ import (
 	"flit/internal/core"
 	"flit/internal/dstruct"
 	"flit/internal/dstruct/list"
+	"flit/internal/pheap"
 	"flit/internal/pmem"
 )
 
@@ -91,12 +92,25 @@ func (t *Table) newThread() *Thread {
 	return &Thread{t: t, lt: t.l.NewThread().(*list.Thread)}
 }
 
+// NewThreadWith creates a handle sharing an existing pmem thread and arena
+// (see list.NewThreadWith): the entry point for sessions that operate many
+// shard tables from one goroutine.
+func (t *Table) NewThreadWith(th *pmem.Thread, ar *pheap.Arena) *Thread {
+	return &Thread{t: t, lt: t.l.NewThreadWith(th, ar)}
+}
+
 // Ctx exposes the thread's execution context (stats, crash injection).
 func (th *Thread) Ctx() dstruct.Ctx { return th.lt.Ctx() }
 
 // Insert adds key→val if absent.
 func (th *Thread) Insert(key, val uint64) bool {
 	return th.lt.InsertAt(th.t.bucketHead(key), key, val)
+}
+
+// Put inserts key→val, or durably overwrites the value in place when key
+// is already present; it reports whether a new key was inserted.
+func (th *Thread) Put(key, val uint64) bool {
+	return th.lt.UpsertAt(th.t.bucketHead(key), key, val)
 }
 
 // Delete removes key if present.
@@ -130,14 +144,24 @@ func (t *Table) Snapshot() map[uint64]uint64 {
 // immutable after construction); each bucket chain is gathered and
 // re-laid-out clean, like list recovery.
 func Recover(cfg dstruct.Config) *Table {
+	tbl, _ := RecoverCount(cfg)
+	return tbl
+}
+
+// RecoverCount is Recover, additionally reporting how many key→value
+// pairs survived — the gather pass already knows, so callers doing
+// shard-parallel recovery need not re-scan the table to count keys.
+func RecoverCount(cfg dstruct.Config) (*Table, int) {
 	tbl := Attach(cfg)
 	t := cfg.Heap.Mem().RegisterThread()
 	ar := cfg.Heap.NewArena()
+	keys := 0
 	for i := 0; i < int(tbl.buckets); i++ {
 		head := cfg.Field(tbl.base, 1+i)
 		pairs := list.GatherAt(&cfg, head)
+		keys += len(pairs)
 		list.RebuildAt(&cfg, t, ar, head, pairs)
 	}
 	t.PFence()
-	return tbl
+	return tbl, keys
 }

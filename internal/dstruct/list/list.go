@@ -16,6 +16,7 @@ package list
 import (
 	"flit/internal/core"
 	"flit/internal/dstruct"
+	"flit/internal/pheap"
 	"flit/internal/pmem"
 	"flit/internal/reclaim"
 )
@@ -67,6 +68,16 @@ func (l *List) NewThread() dstruct.SetThread { return l.newThread() }
 
 func (l *List) newThread() *Thread {
 	return &Thread{l: l, c: l.cfg.NewCtx(l.dom)}
+}
+
+// NewThreadWith creates a handle that shares an existing pmem thread and
+// arena. A goroutine operating several structures at once (a store session
+// spanning N shards) must issue all of its instructions through one
+// pmem.Thread — one write-back queue, one statistics record, one crash
+// countdown — exactly as a single core would; only the epoch-reclamation
+// handle stays per-structure, since each structure owns its domain.
+func (l *List) NewThreadWith(t *pmem.Thread, ar *pheap.Arena) *Thread {
+	return &Thread{l: l, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
 }
 
 // Ctx exposes the thread's execution context (stats, crash injection).
@@ -147,6 +158,13 @@ func (t *Thread) Insert(key, val uint64) bool { return t.InsertAt(t.l.cfg.Root()
 // InsertAt runs Insert on the chain rooted at the link word head — the
 // entry point the hash table uses for its buckets.
 func (t *Thread) InsertAt(head pmem.Addr, key, val uint64) bool {
+	return t.insertAt(head, key, val, false)
+}
+
+// insertAt is the shared insert protocol; the key-present branch either
+// returns false untouched (Insert) or overwrites the value in place with
+// a shared p-store (Upsert).
+func (t *Thread) insertAt(head pmem.Addr, key, val uint64, upsert bool) bool {
 	if key >= dstruct.KeyMax {
 		panic("list: key out of range")
 	}
@@ -158,6 +176,9 @@ func (t *Thread) InsertAt(head pmem.Addr, key, val uint64) bool {
 		if curr != pmem.NilAddr && curKey == key {
 			// Present: the response depends on the link that proves it.
 			t.transition(predLink)
+			if upsert {
+				pol.Store(t.c.T, cfg.Field(curr, fVal), val, core.P)
+			}
 			pol.Complete(t.c.T)
 			t.c.H.Exit()
 			return false
@@ -173,6 +194,22 @@ func (t *Thread) InsertAt(head pmem.Addr, key, val uint64) bool {
 		// Lost the race; the node was never shared, reuse it directly.
 		t.c.Ar.Free(node, cfg.Words(NumFields))
 	}
+}
+
+// Upsert inserts key→val if key is absent, or durably overwrites the value
+// in place if present. It reports whether a new node was inserted.
+func (t *Thread) Upsert(key, val uint64) bool { return t.UpsertAt(t.l.cfg.Root(), key, val) }
+
+// UpsertAt runs Upsert on the chain rooted at head. The in-place update is
+// a shared p-store on the value word: its leading fence orders the loads
+// that located the node, and the value is persisted before the operation
+// completes, so recovery observes either the old or the new value, never a
+// torn state. Overwriting a node that a concurrent Delete has already
+// marked is benign — the upsert linearizes immediately before the delete —
+// and writing a node another thread has retired is safe inside the epoch,
+// which blocks reuse until every current operation exits.
+func (t *Thread) UpsertAt(head pmem.Addr, key, val uint64) bool {
+	return t.insertAt(head, key, val, true)
 }
 
 // Delete removes key if present. The marking CAS is the linearization
@@ -265,21 +302,32 @@ func (t *Thread) GetAt(head pmem.Addr, key uint64) (uint64, bool) {
 	travP := t.l.travP()
 	t.c.H.Enter()
 	defer t.c.H.Exit()
-	curr := dstruct.Ptr(pol.Load(t.c.T, head, travP))
+	predLink := head
+	curr := dstruct.Ptr(pol.Load(t.c.T, predLink, travP))
 	for curr != pmem.NilAddr {
 		nextRaw := pol.Load(t.c.T, cfg.Field(curr, fNext), travP)
 		k := pol.Load(t.c.T, cfg.Field(curr, fKey), travP)
-		if k == key && !dstruct.Marked(nextRaw) {
-			v := pol.Load(t.c.T, cfg.Field(curr, fVal), travP)
-			t.transition(cfg.Field(curr, fNext))
-			pol.Complete(t.c.T)
-			return v, true
-		}
-		if k > key {
+		if k >= key {
+			if k == key && !dstruct.Marked(nextRaw) {
+				v := pol.Load(t.c.T, cfg.Field(curr, fVal), travP)
+				// Present: the response depends on the link to curr, on
+				// curr's unmarked next word, and — since Upsert makes it
+				// mutable after publish — on the value word, whose
+				// re-examining p-load flushes a concurrent overwrite's
+				// pending p-store before this Get completes.
+				t.transition(predLink)
+				t.transition(cfg.Field(curr, fNext))
+				t.transition(cfg.Field(curr, fVal))
+				pol.Complete(t.c.T)
+				return v, true
+			}
 			break
 		}
+		predLink = cfg.Field(curr, fNext)
 		curr = dstruct.Ptr(nextRaw)
 	}
+	// Absent: the response depends on the link proving absence.
+	t.transition(predLink)
 	pol.Complete(t.c.T)
 	return 0, false
 }

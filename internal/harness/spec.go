@@ -20,16 +20,17 @@ import (
 	"flit/internal/pmem"
 )
 
-// Policy identifiers accepted by Spec.Policy.
+// Policy identifiers accepted by Spec.Policy — aliases of the canonical
+// core registry names.
 const (
-	PolNoPersist = "no-persist"
-	PolPlain     = "plain"
-	PolIz        = "izraelevitz"
-	PolAdjacent  = "flit-adjacent"
-	PolHT        = "flit-ht"
-	PolPacked    = "flit-packed"
-	PolPerLine   = "flit-perline"
-	PolLAP       = "link-and-persist"
+	PolNoPersist = core.PolicyNoPersist
+	PolPlain     = core.PolicyPlain
+	PolIz        = core.PolicyIz
+	PolAdjacent  = core.PolicyAdjacent
+	PolHT        = core.PolicyHT
+	PolPacked    = core.PolicyPacked
+	PolPerLine   = core.PolicyPerLine
+	PolLAP       = core.PolicyLAP
 )
 
 // Spec describes one benchmark instance: a data structure over a policy,
@@ -91,32 +92,14 @@ func (s Spec) memWords(stride int) int {
 	return int(words)
 }
 
-// buildPolicy constructs the policy named by the spec.
+// buildPolicy constructs the policy named by the spec via the core
+// registry.
 func (s Spec) buildPolicy(memWords int) core.Policy {
-	htBytes := s.HTBytes
-	if htBytes == 0 {
-		htBytes = 1 << 20
+	pol, err := core.NewPolicyByName(s.Policy, memWords, s.HTBytes)
+	if err != nil {
+		panic("harness: " + err.Error())
 	}
-	switch s.Policy {
-	case PolNoPersist:
-		return core.NoPersist{}
-	case PolPlain:
-		return core.Plain{}
-	case PolIz:
-		return core.Izraelevitz{}
-	case PolAdjacent:
-		return core.NewFliT(core.Adjacent{})
-	case PolHT:
-		return core.NewFliT(core.NewHashTable(htBytes))
-	case PolPacked:
-		return core.NewFliT(core.NewPackedHashTable(htBytes))
-	case PolPerLine:
-		return core.NewFliT(core.NewDirectMap(memWords))
-	case PolLAP:
-		return core.LinkAndPersist{}
-	default:
-		panic("harness: unknown policy " + s.Policy)
-	}
+	return pol
 }
 
 // PolicyLabel names the policy with its parameters, as in the paper's

@@ -22,16 +22,20 @@ import (
 )
 
 const (
-	// NumRoots is the number of well-known persistent root slots. Roots
-	// live at fixed addresses so recovery can find data structures.
+	// NumRoots is the default number of well-known persistent root slots.
+	// Roots live at fixed addresses so recovery can find data structures;
+	// multi-region layouts (one shard per root, as in internal/store) ask
+	// for more via NewWithRoots.
 	NumRoots = 16
+	// MaxRoots bounds configurable root regions.
+	MaxRoots = 1 << 16
 	// rootBase is the address of root slot 0. Line 0 (words 0..7) is
 	// reserved so that address 0 stays an unambiguous nil. Root slots are
 	// spaced two words apart so the word after each root is free for the
 	// flit-adjacent counter placement.
 	rootBase   = pmem.WordsPerLine
 	rootStride = 2
-	// heapBase is the first allocatable word, line-aligned past the roots.
+	// heapBase is the first allocatable word of a default-layout heap.
 	heapBase = rootBase + rootStride*NumRoots
 	// chunkWords is the size of a thread-local allocation chunk.
 	chunkWords = 4096
@@ -39,30 +43,63 @@ const (
 	maxAlloc = 4 << 20 // large enough for bucket arrays of million-key tables
 )
 
+// heapBaseFor returns the first allocatable word past a root region of the
+// given size, line-aligned: every chunk the bump pointer hands out must
+// stay line-aligned or Arena.Alloc's alignment step could never fit a
+// chunk-sized line-aligned object. Root slot addresses do not depend on
+// the region size, so a recovery that only knows where slot 0 lives can
+// probe it before the full layout is known.
+func heapBaseFor(roots int) uint64 {
+	base := uint64(rootBase + rootStride*roots)
+	return (base + pmem.WordsPerLine - 1) &^ uint64(pmem.WordsPerLine-1)
+}
+
 // Heap manages allocation of persistent objects inside a pmem.Memory.
 type Heap struct {
-	mem  *pmem.Memory
-	bump atomic.Uint64 // next unallocated word
+	mem   *pmem.Memory
+	roots int
+	bump  atomic.Uint64 // next unallocated word
 }
 
-// New creates a heap covering all of mem past the reserved root region.
-func New(mem *pmem.Memory) *Heap {
-	h := &Heap{mem: mem}
-	h.bump.Store(heapBase)
+// New creates a heap covering all of mem past the default root region.
+func New(mem *pmem.Memory) *Heap { return NewWithRoots(mem, NumRoots) }
+
+// NewWithRoots creates a heap whose root region holds the given number of
+// slots — the multi-region layout used by sharded services, which anchor
+// each shard (plus a superblock) at its own root.
+func NewWithRoots(mem *pmem.Memory, roots int) *Heap {
+	h := &Heap{mem: mem, roots: clampRoots(roots)}
+	h.bump.Store(heapBaseFor(h.roots))
 	return h
 }
 
-// Recover rebuilds a heap on recovered memory. watermark must be at least
-// the pre-crash Watermark so new allocations cannot clobber objects that
-// survived; blocks that were free before the crash leak, as they do under
-// libvmmalloc.
+// Recover rebuilds a default-layout heap on recovered memory. watermark
+// must be at least the pre-crash Watermark so new allocations cannot
+// clobber objects that survived; blocks that were free before the crash
+// leak, as they do under libvmmalloc.
 func Recover(mem *pmem.Memory, watermark uint64) *Heap {
-	if watermark < heapBase {
-		watermark = heapBase
+	return RecoverWithRoots(mem, watermark, NumRoots)
+}
+
+// RecoverWithRoots rebuilds a heap with a custom root-region size (see
+// NewWithRoots) on recovered memory.
+func RecoverWithRoots(mem *pmem.Memory, watermark uint64, roots int) *Heap {
+	h := &Heap{mem: mem, roots: clampRoots(roots)}
+	if base := heapBaseFor(h.roots); watermark < base {
+		watermark = base
 	}
-	h := &Heap{mem: mem}
 	h.bump.Store(watermark)
 	return h
+}
+
+func clampRoots(roots int) int {
+	if roots < 1 {
+		roots = 1
+	}
+	if roots > MaxRoots {
+		panic(fmt.Sprintf("pheap: %d root slots exceeds max %d", roots, MaxRoots))
+	}
+	return roots
 }
 
 // Mem returns the underlying memory.
@@ -72,10 +109,13 @@ func (h *Heap) Mem() *pmem.Memory { return h.mem }
 // a simulated crash.
 func (h *Heap) Watermark() uint64 { return h.bump.Load() }
 
+// NumRootSlots returns the size of this heap's root region.
+func (h *Heap) NumRootSlots() int { return h.roots }
+
 // Root returns the address of persistent root slot i.
 func (h *Heap) Root(i int) pmem.Addr {
-	if i < 0 || i >= NumRoots {
-		panic(fmt.Sprintf("pheap: root index %d out of range [0,%d)", i, NumRoots))
+	if i < 0 || i >= h.roots {
+		panic(fmt.Sprintf("pheap: root index %d out of range [0,%d)", i, h.roots))
 	}
 	return pmem.Addr(rootBase + rootStride*i)
 }

@@ -1,0 +1,362 @@
+// Package store is FliT-Store: a sharded durable key-value service built
+// on the repository's persistent stack. It is the service layer the
+// ROADMAP's production-scale goal needs above the single-structure
+// harness: N independent shards, each a durable lock-free hash table
+// (internal/dstruct/hashtable) anchored at its own persistent root slot,
+// addressed by string keys hashed into the instrumented payload keyspace.
+//
+// Durability is inherited wholesale from the FliT P-V Interface: every
+// shard runs under the configured core.Policy and durability mode, so the
+// store is durably linearizable whenever its policy is (Theorem 3.1), and
+// the crash tester can validate whole-store histories with the
+// internal/hist checker. Post-crash recovery is shard-parallel — the
+// payoff of sharding beyond concurrency: rebuild time divides by the
+// shard count.
+//
+// Layout: root slot 0 points at a persisted superblock (magic, shard
+// count, buckets per shard) so recovery is self-describing; shard i is
+// anchored at root slot 1+i. As everywhere in this reproduction, the
+// allocator watermark is carried across the crash by the embedding
+// process, mirroring libvmmalloc's volatile metadata.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/hashtable"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+)
+
+const (
+	// superRoot is the root slot holding the superblock pointer; shard i
+	// lives at root slot 1+i.
+	superRoot = 0
+	// Superblock field indices.
+	fMagic      = 0
+	fShards     = 1
+	fBuckets    = 2
+	superFields = 3
+	// Magic identifies a FliT-Store superblock. It fits the 48-bit key
+	// window so every policy can persist it untouched.
+	Magic = uint64(0xF117_5708_E001)
+	// MaxShards bounds the shard count (one root slot each).
+	MaxShards = 1024
+)
+
+// KeyMask is the hashed-key window: HashKey maps strings into
+// [0, dstruct.KeyMax).
+const KeyMask = dstruct.KeyMax - 1
+
+// ValueMask bounds stored values to the instrumented payload (60 bits);
+// Put masks values so policy and structure metadata bits stay free.
+const ValueMask = core.PayloadMask
+
+// Options configures a store. Zero values pick defaults.
+type Options struct {
+	// Shards is the number of independent shard hash tables (default 8).
+	Shards int
+	// Buckets per shard; default ExpectedKeys/(2*Shards) as in the
+	// paper's half-full steady state, floored at 16.
+	Buckets int
+	// ExpectedKeys sizes memory and buckets (default 1<<16).
+	ExpectedKeys int
+	// Policy is a core policy identifier (default "flit-ht").
+	Policy string
+	// HTBytes sizes hashed flit-counter tables (default 1MB).
+	HTBytes int
+	// Mode is the durability method (default Automatic).
+	Mode dstruct.Mode
+	// MemWords overrides the derived simulated-memory size.
+	MemWords int
+	// Invalidate models the invalidating clwb of Cascade Lake.
+	Invalidate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.ExpectedKeys == 0 {
+		o.ExpectedKeys = 1 << 16
+	}
+	if o.Buckets == 0 {
+		o.Buckets = o.ExpectedKeys / (2 * o.Shards)
+		if o.Buckets < 16 {
+			o.Buckets = 16
+		}
+	}
+	// hashtable.New rounds bucket counts up to a power of two; round here
+	// so the superblock, Opts() and reports describe the actual layout.
+	b := 1
+	for b < o.Buckets {
+		b <<= 1
+	}
+	o.Buckets = b
+	if o.Policy == "" {
+		o.Policy = core.PolicyHT
+	}
+	return o
+}
+
+// memWords sizes the simulated memory for the configured key capacity:
+// live nodes, allocation churn headroom, the shard bucket arrays and the
+// root/superblock region.
+func (o Options) memWords(stride int) int {
+	nodes := (uint64(o.ExpectedKeys) + 400_000) * 3 * uint64(stride)
+	tables := uint64(o.Shards) * uint64(1+o.Buckets) * uint64(stride)
+	return int(nodes + tables + (1 << 17))
+}
+
+// Store is a sharded durable key-value store.
+type Store struct {
+	opts   Options
+	mem    *pmem.Memory
+	heap   *pheap.Heap
+	policy core.Policy
+	stride int
+	shards []*hashtable.Table
+}
+
+// New builds a fresh store: simulated memory, heap with one root per
+// shard plus the superblock, the policy, and every shard table.
+func New(opts Options) (*Store, error) {
+	o := opts.withDefaults()
+	if o.Shards < 1 || o.Shards > MaxShards {
+		return nil, fmt.Errorf("store: shard count %d outside [1,%d]", o.Shards, MaxShards)
+	}
+	probe, err := core.NewPolicyByName(o.Policy, 1<<10, o.HTBytes)
+	if err != nil {
+		return nil, err
+	}
+	stride := dstruct.StrideFor(probe)
+	words := o.MemWords
+	if words == 0 {
+		words = o.memWords(stride)
+	}
+	mcfg := pmem.DefaultConfig(words)
+	mcfg.InvalidateOnPWB = o.Invalidate
+	mem := pmem.New(mcfg)
+	pol, err := core.NewPolicyByName(o.Policy, mem.Words(), o.HTBytes)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		opts:   o,
+		mem:    mem,
+		heap:   pheap.NewWithRoots(mem, o.Shards+1),
+		policy: pol,
+		stride: stride,
+		shards: make([]*hashtable.Table, o.Shards),
+	}
+	st.writeSuperblock()
+	for i := range st.shards {
+		st.shards[i] = hashtable.New(st.cfgFor(1+i), o.Buckets)
+	}
+	return st, nil
+}
+
+// writeSuperblock persists the store's self-description before any shard
+// exists, so a crash at any later point still recovers a readable layout.
+// It issues raw flushes rather than going through the policy: the
+// superblock is format-time metadata (what a mkfs tool writes), and must
+// survive even under the no-persist baseline policy — whose data losses
+// the crash checker then observes against an intact layout.
+func (s *Store) writeSuperblock() {
+	cfg := s.cfgFor(superRoot)
+	t := s.mem.RegisterThread()
+	ar := s.heap.NewArena()
+	sb := ar.Alloc(cfg.Words(superFields))
+	for f, v := range map[int]uint64{
+		fMagic:   Magic,
+		fShards:  uint64(s.opts.Shards),
+		fBuckets: uint64(s.opts.Buckets),
+	} {
+		a := cfg.Field(sb, f)
+		t.Store(a, v)
+		t.PWB(a)
+	}
+	// Fence the contents before the root points at them.
+	t.PFence()
+	root := s.heap.Root(superRoot)
+	t.Store(root, uint64(sb))
+	t.PWB(root)
+	t.PFence()
+}
+
+func (s *Store) cfgFor(rootSlot int) dstruct.Config {
+	return dstruct.Config{
+		Heap: s.heap, Policy: s.policy, Mode: s.opts.Mode,
+		RootSlot: rootSlot, Stride: s.stride,
+	}
+}
+
+// Opts returns the options the store was built with (defaults resolved).
+func (s *Store) Opts() Options { return s.opts }
+
+// Mem returns the underlying simulated memory.
+func (s *Store) Mem() *pmem.Memory { return s.mem }
+
+// Heap returns the persistent heap (its Watermark must be carried across
+// a simulated crash).
+func (s *Store) Heap() *pheap.Heap { return s.heap }
+
+// Policy returns the persistence policy instance.
+func (s *Store) Policy() core.Policy { return s.policy }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// HashKey maps an arbitrary string key into the 48-bit instrumented key
+// space: FNV-1a followed by a 64-bit finalizer, masked to KeyMask. Two
+// distinct strings collide with probability ~n²/2^49 — negligible at any
+// workload size the simulation can hold — and the store treats the hash
+// as the key, as fixed-width KV engines over hashed keyspaces do.
+func HashKey(key string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & KeyMask
+}
+
+func (s *Store) shardOf(h uint64) int { return int(h % uint64(len(s.shards))) }
+
+// Session is a per-goroutine handle to the store. All shard handles share
+// one pmem thread (one write-back queue, one statistics record, one crash
+// countdown) and one arena, as a single core would. Not safe for
+// concurrent use; create one per goroutine.
+type Session struct {
+	st     *Store
+	t      *pmem.Thread
+	ar     *pheap.Arena
+	shards []*hashtable.Thread
+}
+
+// NewSession registers a new per-goroutine session.
+func (s *Store) NewSession() *Session {
+	t := s.mem.RegisterThread()
+	ar := s.heap.NewArena()
+	hts := make([]*hashtable.Thread, len(s.shards))
+	for i, sh := range s.shards {
+		hts[i] = sh.NewThreadWith(t, ar)
+	}
+	return &Session{st: s, t: t, ar: ar, shards: hts}
+}
+
+// Thread exposes the session's pmem thread (stats, crash injection).
+func (s *Session) Thread() *pmem.Thread { return s.t }
+
+// Get returns the value stored under key, if present.
+func (s *Session) Get(key string) (uint64, bool) {
+	h := HashKey(key)
+	return s.shards[s.st.shardOf(h)].Get(h)
+}
+
+// Put stores key→val (masked to ValueMask), inserting or durably
+// overwriting in place; it reports whether the key was newly inserted.
+func (s *Session) Put(key string, val uint64) bool {
+	h := HashKey(key)
+	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (s *Session) Delete(key string) bool {
+	h := HashKey(key)
+	return s.shards[s.st.shardOf(h)].Delete(h)
+}
+
+// Contains reports whether key is present.
+func (s *Session) Contains(key string) bool {
+	h := HashKey(key)
+	return s.shards[s.st.shardOf(h)].Contains(h)
+}
+
+// Snapshot unions all shard snapshots, keyed by hashed key (test and
+// checker helper; callers must be quiescent).
+func (s *Store) Snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64)
+	for _, sh := range s.shards {
+		for k, v := range sh.Snapshot() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// RecoveryStats reports one post-crash rebuild.
+type RecoveryStats struct {
+	// Elapsed is the wall time of the shard-parallel rebuild.
+	Elapsed time.Duration
+	// Shards holds per-shard rebuild times; max(Shards) ≈ Elapsed when
+	// enough cores are available, sum(Shards) is the serial cost avoided.
+	Shards []time.Duration
+	// Keys is the number of keys present after recovery.
+	Keys int
+}
+
+// Recover rebuilds a store from a crash image already loaded into mem.
+// The superblock (fixed root slot 0) self-describes shard count and
+// buckets; opts supplies what is deliberately volatile — policy, mode,
+// sizing hints — and must match the pre-crash configuration, as with any
+// persistent layout. All shards recover in parallel, each on its own
+// goroutine with its own pmem thread and arena.
+func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, RecoveryStats, error) {
+	o := opts.withDefaults()
+	var rs RecoveryStats
+	probe, err := core.NewPolicyByName(o.Policy, mem.Words(), o.HTBytes)
+	if err != nil {
+		return nil, rs, err
+	}
+	stride := dstruct.StrideFor(probe)
+	// Probe the superblock before the root-region size is known: slot 0's
+	// address does not depend on it.
+	probeHeap := pheap.RecoverWithRoots(mem, watermark, 1)
+	probeCfg := dstruct.Config{Heap: probeHeap, Policy: probe, Mode: o.Mode, RootSlot: superRoot, Stride: stride}
+	sb := dstruct.Ptr(mem.VolatileWord(probeCfg.Root()))
+	if sb == pmem.NilAddr || mem.VolatileWord(probeCfg.Field(sb, fMagic)) != Magic {
+		return nil, rs, fmt.Errorf("store: no superblock in recovered memory (root slot %d = %d)", superRoot, sb)
+	}
+	shards := int(mem.VolatileWord(probeCfg.Field(sb, fShards)))
+	buckets := int(mem.VolatileWord(probeCfg.Field(sb, fBuckets)))
+	if shards < 1 || shards > MaxShards {
+		return nil, rs, fmt.Errorf("store: superblock shard count %d outside [1,%d]", shards, MaxShards)
+	}
+	o.Shards, o.Buckets = shards, buckets
+
+	st := &Store{
+		opts:   o,
+		mem:    mem,
+		heap:   pheap.RecoverWithRoots(mem, watermark, shards+1),
+		policy: probe,
+		stride: stride,
+		shards: make([]*hashtable.Table, shards),
+	}
+	rs.Shards = make([]time.Duration, shards)
+	keys := make([]int, shards)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			st.shards[i], keys[i] = hashtable.RecoverCount(st.cfgFor(1 + i))
+			rs.Shards[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	rs.Elapsed = time.Since(start)
+	for _, k := range keys {
+		rs.Keys += k
+	}
+	return st, rs, nil
+}

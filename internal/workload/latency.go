@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is a fixed-size log-linear latency histogram (HDR-style): exact
+// below 2^subBits ns, then subBuckets sub-buckets per power of two, giving
+// ≤ 1/subBuckets relative quantile error with a few KB of memory and an
+// allocation-free Record path. The zero value is not ready; use NewHist.
+type Hist struct {
+	counts []uint64
+	n      uint64
+	max    int64
+}
+
+const (
+	subBits    = 4
+	subBuckets = 1 << subBits
+	// 63-bit nanosecond range: bucket index peaks below 64*subBuckets.
+	histBuckets = 64 * subBuckets
+)
+
+// NewHist creates an empty histogram.
+func NewHist() *Hist { return &Hist{counts: make([]uint64, histBuckets)} }
+
+// index maps a nanosecond value to its bucket.
+func index(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	u := uint64(ns)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= subBits
+	mant := (u >> (uint(exp) - subBits)) & (subBuckets - 1)
+	return int(uint(exp-subBits+1)<<subBits | uint(mant))
+}
+
+// value returns a representative (upper-mid) nanosecond value for bucket i.
+func value(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := uint(i>>subBits) + subBits - 1
+	mant := uint64(i & (subBuckets - 1))
+	lo := (uint64(subBuckets) | mant) << (exp - subBits)
+	return int64(lo + (uint64(1)<<(exp-subBits))/2)
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[index(ns)]++
+	h.n++
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge accumulates o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest observation.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-th quantile (q in [0,1]) as a duration, with
+// relative error bounded by the bucket width (~6%).
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if c > 0 && seen > target {
+			v := value(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flit/internal/store"
+)
+
+// Spec describes one timed run against a store.
+type Spec struct {
+	Mix      string  // workload letter a–f
+	Dist     string  // uniform | zipfian | latest
+	ZipfS    float64 // zipfian skew; ≤1 selects DefaultZipfS
+	Threads  int
+	Duration time.Duration
+	// Records is the keyspace size at run start (the loaded record
+	// count); D/E inserts grow it.
+	Records uint64
+	// ScanMax bounds workload E's point-read bursts (default 16).
+	ScanMax int
+	Seed    int64
+}
+
+// Result aggregates one run: throughput, tail latency, flush behaviour.
+type Result struct {
+	Mix       string        `json:"mix"`
+	Dist      string        `json:"dist"`
+	Threads   int           `json:"threads"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	Ops       uint64        `json:"ops"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	Reads   uint64 `json:"reads"`
+	Updates uint64 `json:"updates"`
+	Inserts uint64 `json:"inserts"`
+	RMWs    uint64 `json:"rmws"`
+	Scans   uint64 `json:"scans"`
+
+	PWBs      uint64  `json:"pwbs"`
+	PFences   uint64  `json:"pfences"`
+	PWBsPerOp float64 `json:"pwbs_per_op"`
+}
+
+// Load bulk-inserts key indices [0, records) through threads parallel
+// sessions (the YCSB load phase) and returns its wall time and
+// throughput. Unlike the figure harness's Prefill, latency modeling stays
+// on: loading a durable store pays its flushes, and the report says so.
+func Load(st *store.Store, records uint64, threads int) (time.Duration, float64) {
+	if threads < 1 {
+		threads = 1
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sess := st.NewSession()
+			for i := uint64(t); i < records; i += uint64(threads) {
+				sess.Put(Key(i), i)
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := float64(records) / elapsed.Seconds()
+	return elapsed, ops
+}
+
+// Run drives st with the spec's mix and distribution for the configured
+// duration and returns throughput, latency percentiles and flush counts.
+// Memory statistics are reset at the start of the measured window, so the
+// flush counts are the run's alone.
+func Run(st *store.Store, sp Spec) (Result, error) {
+	mix, err := MixByName(sp.Mix)
+	if err != nil {
+		return Result{}, err
+	}
+	if sp.Threads < 1 {
+		sp.Threads = 1
+	}
+	if sp.Records == 0 {
+		return Result{}, fmt.Errorf("workload: spec needs Records > 0")
+	}
+	if sp.Dist == "" {
+		sp.Dist = DistUniform
+	}
+
+	var limit atomic.Uint64
+	limit.Store(sp.Records)
+	gens := make([]*Generator, sp.Threads)
+	for t := range gens {
+		g, err := NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, sp.Seed+int64(t)*7919)
+		if err != nil {
+			return Result{}, err
+		}
+		gens[t] = g
+	}
+
+	st.Mem().ResetStats()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	hists := make([]*Hist, sp.Threads)
+	var kindCounts [numKinds][]uint64
+	for k := range kindCounts {
+		kindCounts[k] = make([]uint64, sp.Threads)
+	}
+	start := time.Now()
+	for t := 0; t < sp.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sess := st.NewSession()
+			g := gens[t]
+			h := NewHist()
+			hists[t] = h
+			for !stop.Load() {
+				op := g.Next()
+				t0 := time.Now()
+				switch op.Kind {
+				case Read:
+					sess.Get(Key(op.Key))
+				case Update:
+					sess.Put(Key(op.Key), op.Key^uint64(t))
+				case Insert:
+					sess.Put(Key(op.Key), op.Key)
+				case ReadModifyWrite:
+					v, _ := sess.Get(Key(op.Key))
+					sess.Put(Key(op.Key), v+1)
+				case Scan:
+					n := limit.Load()
+					for j := uint64(0); j < uint64(op.ScanLen); j++ {
+						sess.Get(Key((op.Key + j) % n))
+					}
+				}
+				h.Record(time.Since(t0))
+				kindCounts[op.Kind][t]++
+			}
+		}(t)
+	}
+	time.Sleep(sp.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := NewHist()
+	for _, h := range hists {
+		all.Merge(h)
+	}
+	sum := func(xs []uint64) uint64 {
+		var s uint64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	stats := st.Mem().TotalStats()
+	res := Result{
+		Mix: sp.Mix, Dist: sp.Dist, Threads: sp.Threads,
+		Elapsed: elapsed, Ops: all.Count(),
+		P50: all.Quantile(0.50), P95: all.Quantile(0.95), P99: all.Quantile(0.99), Max: all.Max(),
+		Reads:   sum(kindCounts[Read]),
+		Updates: sum(kindCounts[Update]),
+		Inserts: sum(kindCounts[Insert]),
+		RMWs:    sum(kindCounts[ReadModifyWrite]),
+		Scans:   sum(kindCounts[Scan]),
+		PWBs:    stats.PWBs,
+		PFences: stats.PFences,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	if res.Ops > 0 {
+		res.PWBsPerOp = float64(res.PWBs) / float64(res.Ops)
+	}
+	return res, nil
+}

@@ -1,0 +1,197 @@
+// Package workload is a YCSB-style workload subsystem for FliT-Store: the
+// six core operation mixes (A–F), uniform / zipfian / latest key
+// distributions, and a runner that drives store sessions while recording
+// throughput, tail latency (p50/p95/p99) and per-policy flush counts from
+// the pmem statistics.
+//
+// Deviations from YCSB proper, forced by the simulated substrate, are
+// deliberate and documented: records are fixed 64-bit values rather than
+// 10×100B fields, and workload E's range scan is approximated as a burst
+// of point reads over consecutive key indices (the store's hashed
+// keyspace has no order to scan).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// OpKind classifies generated operations.
+type OpKind int
+
+// Operation kinds, in YCSB's vocabulary.
+const (
+	Read OpKind = iota
+	Update
+	Insert
+	ReadModifyWrite
+	Scan
+	numKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case ReadModifyWrite:
+		return "rmw"
+	case Scan:
+		return "scan"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Mix is an operation mix in percent, summing to 100.
+type Mix struct {
+	Name string
+	// Read..Scan are the percentages of each kind.
+	Read, Update, Insert, RMW, Scan int
+}
+
+// Mixes are the YCSB core workloads: A update-heavy, B read-heavy,
+// C read-only, D read-latest, E "scan"-heavy (see package comment),
+// F read-modify-write.
+var Mixes = []Mix{
+	{Name: "a", Read: 50, Update: 50},
+	{Name: "b", Read: 95, Update: 5},
+	{Name: "c", Read: 100},
+	{Name: "d", Read: 95, Insert: 5},
+	{Name: "e", Scan: 95, Insert: 5},
+	{Name: "f", Read: 50, RMW: 50},
+}
+
+// MixByName resolves a workload letter (a–f, case-insensitive via exact
+// lowercase match).
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q (known: a-f)", name)
+}
+
+// Key distribution identifiers.
+const (
+	DistUniform = "uniform"
+	DistZipfian = "zipfian"
+	DistLatest  = "latest"
+)
+
+// DefaultZipfS is the default zipfian skew. YCSB's canonical constant is
+// 0.99 but Go's rand.Zipf requires s > 1; 1.1 gives a comparably hot head.
+const DefaultZipfS = 1.1
+
+// Key renders key index i as its canonical string form, the store-facing
+// key the generator hands to sessions.
+func Key(i uint64) string { return fmt.Sprintf("user%016d", i) }
+
+// Op is one generated operation over key indices.
+type Op struct {
+	Kind OpKind
+	// Key is a key index; pass it through Key for the store-facing form.
+	Key uint64
+	// ScanLen is the point-read burst length (Scan only).
+	ScanLen int
+}
+
+// Generator emits one thread's operation stream. Not safe for concurrent
+// use; the keyspace high-water mark (limit) is shared across generators so
+// inserts by any thread become readable by all.
+type Generator struct {
+	mix     Mix
+	dist    string
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	limit   *atomic.Uint64
+	scanMax int
+}
+
+// NewGenerator builds a generator for mix over dist. records is the
+// initial keyspace size; limit (shared across threads, pre-set to
+// records) tracks growth from inserts. zipfS ≤ 1 selects DefaultZipfS.
+func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *atomic.Uint64, scanMax int, seed int64) (*Generator, error) {
+	if records == 0 {
+		return nil, fmt.Errorf("workload: empty keyspace")
+	}
+	if zipfS <= 1 {
+		zipfS = DefaultZipfS
+	}
+	if scanMax < 1 {
+		scanMax = 16
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generator{mix: mix, dist: dist, rng: rng, limit: limit, scanMax: scanMax}
+	switch dist {
+	case DistUniform:
+	case DistZipfian, DistLatest:
+		g.zipf = rand.NewZipf(rng, zipfS, 1, records-1)
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q (uniform|zipfian|latest)", dist)
+	}
+	return g, nil
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Intn(100)
+	var kind OpKind
+	switch {
+	case r < g.mix.Read:
+		kind = Read
+	case r < g.mix.Read+g.mix.Update:
+		kind = Update
+	case r < g.mix.Read+g.mix.Update+g.mix.Insert:
+		kind = Insert
+	case r < g.mix.Read+g.mix.Update+g.mix.Insert+g.mix.RMW:
+		kind = ReadModifyWrite
+	default:
+		kind = Scan
+	}
+	if kind == Insert {
+		// Claim a fresh key index past the current high-water mark.
+		return Op{Kind: Insert, Key: g.limit.Add(1) - 1}
+	}
+	op := Op{Kind: kind, Key: g.pick()}
+	if kind == Scan {
+		op.ScanLen = 1 + g.rng.Intn(g.scanMax)
+	}
+	return op
+}
+
+// pick draws a key index from the configured distribution over the
+// current keyspace.
+func (g *Generator) pick() uint64 {
+	n := g.limit.Load()
+	switch g.dist {
+	case DistZipfian:
+		// Scrambled zipfian, as YCSB does: the popularity ranks are
+		// scattered across the key space (and hence the shards) so skew
+		// stresses contention, not one unlucky shard.
+		return scramble(g.zipf.Uint64()) % n
+	case DistLatest:
+		d := g.zipf.Uint64()
+		if d >= n {
+			d = n - 1
+		}
+		return n - 1 - d
+	default:
+		return uint64(g.rng.Int63()) % n
+	}
+}
+
+// scramble is a 64-bit finalizer (Murmur3 fmix64).
+func scramble(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

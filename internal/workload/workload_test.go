@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/store"
+)
+
+func TestMixByName(t *testing.T) {
+	for _, m := range Mixes {
+		got, err := MixByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Fatalf("MixByName(%q) = %v, %v", m.Name, got, err)
+		}
+		if s := m.Read + m.Update + m.Insert + m.RMW + m.Scan; s != 100 {
+			t.Fatalf("mix %q sums to %d, want 100", m.Name, s)
+		}
+	}
+	if _, err := MixByName("z"); err == nil {
+		t.Fatal("MixByName accepted an unknown mix")
+	}
+}
+
+func newGen(t *testing.T, mixName, dist string, records uint64) (*Generator, *atomic.Uint64) {
+	t.Helper()
+	mix, err := MixByName(mixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var limit atomic.Uint64
+	limit.Store(records)
+	g, err := NewGenerator(mix, dist, 0, records, &limit, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &limit
+}
+
+func TestGeneratorProportions(t *testing.T) {
+	g, _ := newGen(t, "a", DistUniform, 1000)
+	var reads, updates int
+	for i := 0; i < 20_000; i++ {
+		switch g.Next().Kind {
+		case Read:
+			reads++
+		case Update:
+			updates++
+		default:
+			t.Fatal("mix a generated a kind outside read/update")
+		}
+	}
+	if reads < 9000 || reads > 11000 {
+		t.Fatalf("mix a: %d reads of 20000, want ~10000", reads)
+	}
+	_ = updates
+}
+
+func TestInsertsGrowTheKeyspace(t *testing.T) {
+	g, limit := newGen(t, "d", DistLatest, 100)
+	inserted := 0
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == Insert {
+			if op.Key != 100+uint64(inserted) {
+				t.Fatalf("insert %d claimed key %d, want %d", inserted, op.Key, 100+inserted)
+			}
+			inserted++
+		} else if op.Key >= limit.Load() {
+			t.Fatalf("read key %d beyond keyspace %d", op.Key, limit.Load())
+		}
+	}
+	if inserted == 0 || limit.Load() != 100+uint64(inserted) {
+		t.Fatalf("inserted %d, limit %d", inserted, limit.Load())
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g, _ := newGen(t, "c", DistZipfian, 10_000)
+	counts := map[uint64]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// A zipfian head is orders of magnitude hotter than uniform's n/keys=5.
+	if max < 50 {
+		t.Fatalf("hottest key drawn %d times of %d; no zipfian skew", max, n)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct keys drawn; scrambling broken?", len(counts))
+	}
+}
+
+func TestLatestFavorsRecentKeys(t *testing.T) {
+	g, _ := newGen(t, "c", DistLatest, 10_000)
+	high := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if g.Next().Key >= 9000 {
+			high++
+		}
+	}
+	if high < n/2 {
+		t.Fatalf("latest distribution drew the top decile only %d/%d times", high, n)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		lo, hi := want*9/10, want*11/10
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%g) = %v, want within 10%% of %v", q, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	if h.Max() != time.Millisecond {
+		t.Fatalf("Max = %v, want 1ms", h.Max())
+	}
+
+	o := NewHist()
+	o.Record(5 * time.Millisecond)
+	h.Merge(o)
+	if h.Count() != 1001 || h.Max() != 5*time.Millisecond {
+		t.Fatalf("after merge: count %d max %v", h.Count(), h.Max())
+	}
+	if h.Quantile(1) != 5*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want max", h.Quantile(1))
+	}
+}
+
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(0); ns < 1<<20; ns += 7 {
+		i := index(ns)
+		if i < prev {
+			t.Fatalf("index(%d) = %d < previous %d", ns, i, prev)
+		}
+		prev = i
+	}
+}
+
+func newTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.New(store.Options{
+		Shards: 4, ExpectedKeys: 1 << 12, Policy: core.PolicyHT, HTBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestLoadPopulates(t *testing.T) {
+	st := newTestStore(t)
+	elapsed, ops := Load(st, 1000, 4)
+	if elapsed <= 0 || ops <= 0 {
+		t.Fatalf("Load reported elapsed=%v ops/s=%g", elapsed, ops)
+	}
+	if got := len(st.Snapshot()); got != 1000 {
+		t.Fatalf("loaded %d keys, want 1000", got)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	st := newTestStore(t)
+	Load(st, 500, 2)
+	for _, mixName := range []string{"a", "d", "e", "f"} {
+		res, err := Run(st, Spec{
+			Mix: mixName, Dist: DistZipfian, Threads: 2,
+			Duration: 25 * time.Millisecond, Records: 500, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops == 0 || res.OpsPerSec <= 0 {
+			t.Fatalf("mix %s: no throughput: %+v", mixName, res)
+		}
+		if res.P50 <= 0 || res.P99 < res.P95 || res.P95 < res.P50 {
+			t.Fatalf("mix %s: implausible percentiles p50=%v p95=%v p99=%v", mixName, res.P50, res.P95, res.P99)
+		}
+		if res.PWBs == 0 {
+			t.Fatalf("mix %s: flit-ht workload issued no PWBs", mixName)
+		}
+		switch mixName {
+		case "a":
+			if res.Updates == 0 || res.Inserts != 0 {
+				t.Fatalf("mix a: updates=%d inserts=%d", res.Updates, res.Inserts)
+			}
+		case "d":
+			if res.Inserts == 0 {
+				t.Fatal("mix d generated no inserts")
+			}
+		case "e":
+			if res.Scans == 0 {
+				t.Fatal("mix e generated no scans")
+			}
+		case "f":
+			if res.RMWs == 0 {
+				t.Fatal("mix f generated no read-modify-writes")
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	st := newTestStore(t)
+	if _, err := Run(st, Spec{Mix: "z", Records: 10, Duration: time.Millisecond}); err == nil {
+		t.Fatal("Run accepted unknown mix")
+	}
+	if _, err := Run(st, Spec{Mix: "a", Duration: time.Millisecond}); err == nil {
+		t.Fatal("Run accepted zero records")
+	}
+	if _, err := Run(st, Spec{Mix: "a", Records: 10, Dist: "pareto", Duration: time.Millisecond}); err == nil {
+		t.Fatal("Run accepted unknown distribution")
+	}
+}

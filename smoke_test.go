@@ -1,0 +1,107 @@
+// Smoke coverage for the main packages: the eight binaries under cmd/ and
+// examples/ have no test files of their own, so this suite builds every
+// one of them and runs the quickstart example and a miniature flitstore
+// load→crash→recover cycle end-to-end.
+package flit_test
+
+import (
+	"encoding/json"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH; skipping smoke build")
+	}
+	return path
+}
+
+// TestBuildAllMainPackages compiles every cmd/ and examples/ binary into a
+// scratch directory.
+func TestBuildAllMainPackages(t *testing.T) {
+	gobin := goTool(t)
+	out, err := exec.Command(gobin, "list", "./cmd/...", "./examples/...").Output()
+	if err != nil {
+		t.Fatalf("go list: %v\n%s", err, out)
+	}
+	pkgs := strings.Fields(string(out))
+	if len(pkgs) < 8 {
+		t.Fatalf("expected at least 8 main packages, go list found %d: %v", len(pkgs), pkgs)
+	}
+	args := append([]string{"build", "-o", t.TempDir()}, pkgs...)
+	if out, err := exec.Command(gobin, args...).CombinedOutput(); err != nil {
+		t.Fatalf("go build %v: %v\n%s", pkgs, err, out)
+	}
+}
+
+// TestQuickstartEndToEnd runs the quickstart example and checks the
+// crash-recovery narrative it prints.
+func TestQuickstartEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	out, err := exec.Command(gobin, "run", "./examples/quickstart").CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"durable linearizability held",
+		"post-recovery insert works: true",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFlitstoreCycleEndToEnd drives the store service binary through a
+// small load→run→crash→recover cycle and validates the JSON report shape.
+func TestFlitstoreCycleEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	out, err := exec.Command(gobin, "run", "./cmd/flitstore",
+		"-policy=flit-ht", "-shards=8", "-workload=a", "-dist=zipfian",
+		"-records=2000", "-duration=50ms", "-threads=2", "-crash-ops=60", "-quiet",
+	).Output()
+	if err != nil {
+		t.Fatalf("flitstore failed: %v\n%s", err, out)
+	}
+	var rep struct {
+		Config struct {
+			Shards int `json:"shards"`
+		} `json:"config"`
+		Cycles []struct {
+			Run struct {
+				Ops       uint64  `json:"ops"`
+				OpsPerSec float64 `json:"ops_per_sec"`
+				P50       int64   `json:"p50_ns"`
+				P99       int64   `json:"p99_ns"`
+				PWBs      uint64  `json:"pwbs"`
+			} `json:"run"`
+			Recovery *struct {
+				Shards int     `json:"shards"`
+				Keys   int     `json:"keys_recovered"`
+				Ns     int64   `json:"elapsed_ns"`
+				Par    float64 `json:"parallel_speedup"`
+			} `json:"recovery"`
+		} `json:"cycles"`
+		Check string `json:"check"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Check != "ok" {
+		t.Fatalf("checker verdict %q, want ok", rep.Check)
+	}
+	if rep.Config.Shards != 8 || len(rep.Cycles) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	c := rep.Cycles[0]
+	if c.Run.Ops == 0 || c.Run.OpsPerSec <= 0 || c.Run.P50 <= 0 || c.Run.P99 < c.Run.P50 || c.Run.PWBs == 0 {
+		t.Fatalf("implausible run stats: %+v", c.Run)
+	}
+	if c.Recovery == nil || c.Recovery.Shards != 8 || c.Recovery.Keys == 0 || c.Recovery.Ns <= 0 {
+		t.Fatalf("implausible recovery stats: %+v", c.Recovery)
+	}
+}
