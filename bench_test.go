@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"flit/internal/bench"
 	"flit/internal/core"
 	"flit/internal/dstruct"
 	"flit/internal/harness"
@@ -174,6 +175,30 @@ func BenchmarkAblationIzraelevitz(b *testing.B) {
 func BenchmarkAblationZipf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		logTables(b, harness.AblationZipf(benchOpts()))
+	}
+}
+
+// --- bench-matrix adapter ---
+
+// BenchmarkMatrixSmoke runs the CI perf-gate matrix (internal/bench's
+// "smoke" preset, shortened) and re-emits every report cell through the
+// Go-benchmark custom-metric channel — the thin adapter that keeps `go
+// test -bench` output and the BENCH_*.json schema reporting the same
+// numbers from the same fold.
+func BenchmarkMatrixSmoke(b *testing.B) {
+	m, ok := bench.Preset("smoke")
+	if !ok {
+		b.Fatal("smoke preset missing")
+	}
+	m.Duration = 30 * time.Millisecond
+	m.Warmup = 15 * time.Millisecond
+	m.Repeats = 1
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.ReportMetrics(b, rep)
 	}
 }
 

@@ -1,17 +1,28 @@
 // Command flitbench regenerates the tables and figures of the FliT paper's
-// evaluation section (§6) on the simulated-NVRAM substrate.
+// evaluation section (§6) on the simulated-NVRAM substrate, runs the
+// declarative benchmark matrices of internal/bench, and diffs benchmark
+// reports for the CI perf-regression gate.
 //
 // Usage:
 //
-//	flitbench -fig 7                # one figure
+//	flitbench -fig 7                          # one figure, text tables
 //	flitbench -fig all -duration 500ms -out results.txt
-//	flitbench -list                 # enumerate figure ids
+//	flitbench -fig 7 -json r.json             # figure + BenchReport JSON
+//	flitbench -matrix smoke -json r.json      # declarative matrix run
+//	flitbench -list                           # enumerate figure ids
+//	flitbench compare old.json new.json -threshold 10%
 //
 // Figures: 5 (flit-HT size tuning), 6 (thread scalability), 7 (structures x
 // durability x policy), 8 (update-ratio sweep, normalized), 9 (flushes per
 // operation), plus ablations: ablation-inv (clwb invalidation),
 // ablation-pack (packed counters), ablation-line (per-cache-line
 // counters), ablation-iz (Izraelevitz et al. baseline).
+//
+// Matrices: smoke (the CI perf gate's small fixed grid), full (the
+// nightly grid). `compare` exits non-zero when any cell of the new
+// report degrades beyond the threshold relative to the old one, or when
+// a baseline cell is missing — see EXPERIMENTS.md for how CI uses it
+// against the committed BENCH_baseline.json.
 //
 // Absolute throughput is simulated-memory throughput; the paper's shapes
 // (who wins, by what factor, where crossovers fall) are the reproduction
@@ -24,20 +35,31 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"flit/internal/bench"
 	"flit/internal/harness"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
+
 	fig := flag.String("fig", "all", "figure to regenerate (5,6,7,8,9,ablation-inv,ablation-pack,ablation-line,ablation-iz,ablation-zipf,all)")
+	matrix := flag.String("matrix", "", fmt.Sprintf("run a declarative benchmark matrix instead of figures (%s)", strings.Join(bench.PresetNames(), "|")))
 	duration := flag.Duration("duration", 250*time.Millisecond, "measured duration per cell")
+	warmup := flag.Duration("warmup", 0, "matrix mode: discarded warm-up window per cell (0 disables; default duration/2)")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads (the paper used 44)")
 	small := flag.Bool("small", false, "restrict Figure 8 to small structure sizes")
 	invalidate := flag.Bool("invalidate", false, "model the invalidating clwb of Cascade Lake everywhere")
 	out := flag.String("out", "", "also append output to this file")
 	repeats := flag.Int("repeats", 1, "average each cell over N runs (the paper used 5)")
+	seed := flag.Int64("seed", 1, "matrix mode: workload generator seed")
 	csv := flag.String("csv", "", "also append CSV-formatted tables to this file")
+	jsonOut := flag.String("json", "", "write a machine-readable BenchReport (see internal/bench) to this file")
 	listFigs := flag.Bool("list", false, "list available figures and exit")
 	flag.Parse()
 
@@ -48,12 +70,16 @@ func main() {
 		return
 	}
 
+	if *matrix != "" {
+		runMatrix(*matrix, *threads, *duration, *warmup, *repeats, *seed, *jsonOut)
+		return
+	}
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "flitbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -70,8 +96,7 @@ func main() {
 	if *csv != "" {
 		f, err := os.OpenFile(*csv, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "flitbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		csvFile = f
@@ -82,6 +107,7 @@ func main() {
 	}
 	fmt.Fprintf(w, "flitbench: %d threads, %v per cell, invalidating-clwb=%v\n\n",
 		opts.Threads, opts.Duration, opts.Invalidate)
+	figures := make(map[string][]*harness.Table)
 	for _, id := range ids {
 		run, ok := harness.Figures[id]
 		if !ok {
@@ -89,7 +115,9 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		for _, table := range run(opts) {
+		tables := run(opts)
+		figures[id] = tables
+		for _, table := range tables {
 			fmt.Fprintln(w, table.Format())
 			if csvFile != nil {
 				fmt.Fprintln(csvFile, table.CSV())
@@ -97,4 +125,136 @@ func main() {
 		}
 		fmt.Fprintf(w, "(figure %s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if *jsonOut != "" {
+		cfg := map[string]string{
+			"figures":  strings.Join(ids, ","),
+			"threads":  fmt.Sprint(opts.Threads),
+			"duration": opts.Duration.String(),
+			"repeats":  fmt.Sprint(opts.Repeats),
+		}
+		rep := bench.FromTables(cfg, figures)
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %d cells to %s\n", len(rep.Cells), *jsonOut)
+	}
+}
+
+// runMatrix executes a preset matrix, applying whichever measurement
+// flags the user set explicitly.
+func runMatrix(name string, threads int, duration, warmup time.Duration, repeats int, seed int64, jsonOut string) {
+	m, ok := bench.Preset(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flitbench: unknown matrix %q (known: %s)\n", name, strings.Join(bench.PresetNames(), ", "))
+		os.Exit(1)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["threads"] {
+		m.Threads = threads
+	}
+	if set["duration"] {
+		m.Duration = duration
+	}
+	if set["warmup"] {
+		m.Warmup = warmup
+		if warmup == 0 {
+			m.Warmup = -1 // explicit zero: disable, don't re-default
+		}
+	}
+	if set["repeats"] {
+		m.Repeats = repeats
+	}
+	if set["seed"] {
+		m.Seed = seed
+	}
+	start := time.Now()
+	rep, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range rep.Cells {
+		fmt.Printf("%-60s %14.4g ±%-10.3g %s\n", c.ID, c.Value.Mean, c.Value.Stddev, c.Unit)
+	}
+	fmt.Printf("(matrix %s: %d cells in %v)\n", name, len(rep.Cells), time.Since(start).Round(time.Millisecond))
+	if jsonOut != "" {
+		if err := rep.WriteFile(jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+}
+
+// runCompare diffs two BenchReports and exits 1 on regression. Flags
+// are accepted before or after the file arguments. -lower-threshold
+// gates the lower-is-better cells (flush rates, latency) separately —
+// they are near-deterministic, so they can be held far tighter than
+// host-noisy throughput.
+func runCompare(args []string) {
+	threshold := "10%"
+	lowerThreshold := ""
+	var files []string
+	takeValue := func(i *int, name string) string {
+		*i++
+		if *i >= len(args) {
+			fatal(fmt.Errorf("compare: %s needs a value", name))
+		}
+		return args[*i]
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			threshold = takeValue(&i, a)
+		case strings.HasPrefix(a, "-threshold="):
+			threshold = strings.TrimPrefix(a, "-threshold=")
+		case strings.HasPrefix(a, "--threshold="):
+			threshold = strings.TrimPrefix(a, "--threshold=")
+		case a == "-lower-threshold" || a == "--lower-threshold":
+			lowerThreshold = takeValue(&i, a)
+		case strings.HasPrefix(a, "-lower-threshold="):
+			lowerThreshold = strings.TrimPrefix(a, "-lower-threshold=")
+		case strings.HasPrefix(a, "--lower-threshold="):
+			lowerThreshold = strings.TrimPrefix(a, "--lower-threshold=")
+		case a == "-h" || a == "-help" || a == "--help":
+			fmt.Fprintln(os.Stderr, "usage: flitbench compare old.json new.json [-threshold 10%] [-lower-threshold 10%]")
+			return
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fatal(fmt.Errorf("compare: want exactly two report files, got %d (usage: flitbench compare old.json new.json [-threshold 10%%])", len(files)))
+	}
+	th, err := bench.ParseThreshold(threshold)
+	if err != nil {
+		fatal(err)
+	}
+	lth := th
+	if lowerThreshold != "" {
+		if lth, err = bench.ParseThreshold(lowerThreshold); err != nil {
+			fatal(err)
+		}
+	}
+	oldRep, err := bench.ReadFile(files[0])
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := bench.ReadFile(files[1])
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bench.CompareThresholds(oldRep, newRep, th, lth)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flitbench:", err)
+	os.Exit(1)
 }

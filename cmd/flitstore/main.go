@@ -23,6 +23,8 @@ import (
 	"runtime"
 	"time"
 
+	"flit/internal/bench"
+	"flit/internal/bench/stats"
 	"flit/internal/core"
 	"flit/internal/crashtest"
 	"flit/internal/dstruct"
@@ -32,13 +34,17 @@ import (
 	"flit/internal/workload"
 )
 
-// report is the top-level JSON document: the seed of the BENCH_*.json
-// perf trajectory, so field names are stable identifiers.
+// report is the top-level JSON document. The service-specific sections
+// (load, cycles, crash/recovery) carry the full detail; Bench restates
+// the per-cycle performance through the repo-wide internal/bench schema
+// so flitstore output joins the BENCH_*.json perf trajectory and can be
+// diffed with `flitbench compare`.
 type report struct {
-	Config configJSON  `json:"config"`
-	Load   loadJSON    `json:"load"`
-	Cycles []cycleJSON `json:"cycles"`
-	Check  string      `json:"check"` // "ok" | "violation" | "skipped"
+	Config configJSON    `json:"config"`
+	Load   loadJSON      `json:"load"`
+	Cycles []cycleJSON   `json:"cycles"`
+	Check  string        `json:"check"` // "ok" | "violation" | "skipped"
+	Bench  *bench.Report `json:"bench"`
 }
 
 type configJSON struct {
@@ -119,6 +125,7 @@ func main() {
 	crashOps := flag.Int("crash-ops", 240, "recorded ops per worker in the crash phase")
 	seed := flag.Int64("seed", 1, "base seed")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	benchOut := flag.String("bench-json", "", "also write the embedded BenchReport standalone (flitbench compare input)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr summary table")
 	flag.Parse()
 
@@ -226,6 +233,19 @@ func main() {
 		rep.Cycles = append(rep.Cycles, cy)
 	}
 
+	// A cell-less bench report (possible with -cycles 0) is not
+	// schema-valid; emit the section only when cycles actually ran.
+	if br := benchReport(rep); len(br.Cells) > 0 {
+		rep.Bench = br
+		if *benchOut != "" {
+			if err := br.WriteFile(*benchOut); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *benchOut != "" {
+		fmt.Fprintln(os.Stderr, "flitstore: no cycles ran; skipping -bench-json")
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -243,6 +263,45 @@ func main() {
 	if rep.Check == "violation" {
 		os.Exit(1)
 	}
+}
+
+// benchReport restates the per-cycle run results as internal/bench
+// schema cells: one throughput + flush-rate pair per cycle, plus an
+// "all" aggregate summarizing across cycles (the cell a CI gate would
+// diff). Latency tails ride on the throughput cells.
+func benchReport(rep report) *bench.Report {
+	cfg := rep.Config
+	br := bench.NewReport("flitstore", map[string]string{
+		"workload": cfg.Workload, "dist": cfg.Dist, "policy": cfg.Policy,
+		"mode": cfg.Mode, "shards": fmt.Sprint(cfg.Shards),
+		"threads": fmt.Sprint(cfg.Threads), "records": fmt.Sprint(cfg.Records),
+		"duration": cfg.Duration, "cycles": fmt.Sprint(cfg.Cycles),
+		"seed": fmt.Sprint(cfg.Seed),
+	})
+	base := bench.SlugID("store", cfg.Workload, cfg.Dist, cfg.Policy,
+		fmt.Sprintf("s%d", cfg.Shards), fmt.Sprintf("r%d", cfg.Records))
+	var tputs, pwbRates []float64
+	for _, cy := range rep.Cycles {
+		r := cy.Run
+		id := fmt.Sprintf("%s/cycle%d", base, cy.Cycle)
+		br.Add(bench.Cell{
+			ID: id + "/throughput", Unit: "ops/s", Value: stats.Of(r.OpsPerSec),
+			Ops: r.Ops, PWBs: r.PWBs, PFences: r.PFences,
+			P50Ns: r.P50.Nanoseconds(), P95Ns: r.P95.Nanoseconds(), P99Ns: r.P99.Nanoseconds(),
+		})
+		br.Add(bench.Cell{
+			ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Of(r.PWBsPerOp),
+			LowerIsBetter: true,
+		})
+		tputs = append(tputs, r.OpsPerSec)
+		pwbRates = append(pwbRates, r.PWBsPerOp)
+	}
+	if len(tputs) > 0 {
+		br.Add(bench.Cell{ID: base + "/all/throughput", Unit: "ops/s", Value: stats.Summarize(tputs)})
+		br.Add(bench.Cell{ID: base + "/all/pwbs_per_op", Unit: "pwbs/op",
+			Value: stats.Summarize(pwbRates), LowerIsBetter: true})
+	}
+	return br
 }
 
 // printSummary renders the per-cycle numbers with the harness's table

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"flit/internal/bench/stats"
+)
+
+// twoCell builds a report with one higher-is-better and one
+// lower-is-better cell at the given means.
+func twoCell(tput, pwbRate float64) *Report {
+	r := NewReport("flitbench", nil)
+	r.Add(Cell{ID: "x/throughput", Unit: "ops/s", Value: stats.Of(tput)})
+	r.Add(Cell{ID: "x/pwbs_per_op", Unit: "pwbs/op", Value: stats.Of(pwbRate), LowerIsBetter: true})
+	return r
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := twoCell(1e6, 0.5)
+	res, err := Compare(a, a, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Regressions != 0 || res.Improvements != 0 {
+		t.Fatalf("self-compare should be clean: %+v", res)
+	}
+	if !strings.Contains(res.Format(), "OK") {
+		t.Fatalf("format lacks verdict: %q", res.Format())
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	old := twoCell(1e6, 0.5)
+	// 20% throughput drop vs a 10% threshold: regression.
+	res, err := Compare(old, twoCell(0.8e6, 0.5), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions != 1 {
+		t.Fatalf("expected 1 regression: %+v", res)
+	}
+	if !res.Deltas[0].Regressed || res.Deltas[0].Change >= 0 {
+		t.Fatalf("delta wrong: %+v", res.Deltas[0])
+	}
+	// 5% drop within a 10% threshold: stable.
+	res, err = Compare(old, twoCell(0.95e6, 0.5), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("within-threshold drop should pass: %+v", res)
+	}
+	// Exactly at the threshold boundary: not a regression (strict >).
+	res, err = Compare(old, twoCell(0.9e6, 0.5), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("boundary drop should pass: %+v", res)
+	}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	old := twoCell(1e6, 0.5)
+	// Flush rate doubling is a regression even with throughput flat.
+	res, err := Compare(old, twoCell(1e6, 1.0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions != 1 || !res.Deltas[1].Regressed {
+		t.Fatalf("pwbs/op increase should regress: %+v", res)
+	}
+	// Flush rate halving is an improvement.
+	res, err = Compare(old, twoCell(1e6, 0.25), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Improvements != 1 || !res.Deltas[1].Improved {
+		t.Fatalf("pwbs/op decrease should improve: %+v", res)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	res, err := Compare(twoCell(1e6, 0.5), twoCell(2e6, 0.5), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Improvements != 1 {
+		t.Fatalf("throughput doubling should improve: %+v", res)
+	}
+}
+
+func TestCompareMissingCells(t *testing.T) {
+	old := twoCell(1e6, 0.5)
+	onlyTput := NewReport("flitbench", nil)
+	onlyTput.Add(Cell{ID: "x/throughput", Unit: "ops/s", Value: stats.Of(1e6)})
+	onlyTput.Add(Cell{ID: "y/new", Unit: "ops/s", Value: stats.Of(1)})
+	res, err := Compare(old, onlyTput, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("dropping a baseline cell must fail the gate")
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "x/pwbs_per_op" {
+		t.Fatalf("missing-in-new wrong: %v", res.MissingInNew)
+	}
+	if len(res.MissingInOld) != 1 || res.MissingInOld[0] != "y/new" {
+		t.Fatalf("missing-in-old wrong: %v", res.MissingInOld)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// A zero higher-is-better baseline has no meaningful ratio and does
+	// not gate; a zero lower-is-better baseline (e.g. a read path that
+	// never flushed) leaving zero is a full regression — flush-count
+	// inflation from zero is exactly what the gate exists to catch.
+	res, err := Compare(twoCell(0, 0), twoCell(1e6, 1), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions != 1 {
+		t.Fatalf("pwbs/op leaving zero must regress: %+v", res)
+	}
+	if d := res.Deltas[1]; !d.Regressed || d.Change != -1 {
+		t.Fatalf("zero-exit delta wrong: %+v", d)
+	}
+	// Staying at zero is stable.
+	res, err = Compare(twoCell(0, 0), twoCell(2e6, 0), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("zero baseline staying clean should pass: %+v", res)
+	}
+}
+
+func TestCompareConfigDiffs(t *testing.T) {
+	old := twoCell(1e6, 0.5)
+	old.Config = map[string]string{"threads": "1", "seed": "1"}
+	cand := twoCell(1e6, 0.5)
+	cand.Config = map[string]string{"threads": "4", "seed": "1", "extra": "x"}
+	res, err := Compare(old, cand, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConfigDiffs) != 1 || !strings.Contains(res.ConfigDiffs[0], "threads") {
+		t.Fatalf("config diff not flagged: %v", res.ConfigDiffs)
+	}
+	if !res.OK() {
+		t.Fatalf("config diffs are informational, not gating: %+v", res)
+	}
+	if !strings.Contains(res.Format(), "config differs") {
+		t.Fatalf("format omits config note: %q", res.Format())
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	bad := twoCell(1, 1)
+	bad.SchemaVersion = 99
+	if _, err := Compare(bad, twoCell(1, 1), 0.1); err == nil {
+		t.Fatal("stale baseline schema must error")
+	}
+	if _, err := Compare(twoCell(1, 1), twoCell(1, 1), -0.1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"10%", 0.10}, {"10 %", 0.10}, {" 75% ", 0.75}, {"150%", 1.5}, {"0.1", 0.1}, {"1", 1}, {"0", 0},
+	} {
+		got, err := ParseThreshold(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseThreshold(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	// Bare ratios above 1 are the forgotten-% typo and would neutralize
+	// the gate.
+	for _, bad := range []string{"", "x%", "-5%", "ten", "60", "1.5"} {
+		if _, err := ParseThreshold(bad); err == nil {
+			t.Fatalf("ParseThreshold(%q) should error", bad)
+		}
+	}
+}
+
+func TestCompareSplitThresholds(t *testing.T) {
+	old := twoCell(1e6, 0.5)
+	// Throughput -50% is inside a generous 85% gate; pwbs/op +50% busts
+	// the tight 25% lower-is-better gate.
+	res, err := CompareThresholds(old, twoCell(0.5e6, 0.75), 0.85, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Regressions != 1 || !res.Deltas[1].Regressed || res.Deltas[0].Regressed {
+		t.Fatalf("split gate wrong: %+v", res)
+	}
+	if !strings.Contains(res.Format(), "lower-is-better") {
+		t.Fatalf("format omits split gate: %q", res.Format())
+	}
+}

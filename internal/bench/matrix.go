@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"flit/internal/bench/stats"
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/harness"
+	"flit/internal/store"
+	"flit/internal/workload"
+)
+
+// SetCell is one point of the data-structure benchmark grid: a policy ×
+// structure × durability mode × update ratio, driven by the figure
+// harness (build, prefill, timed uniform workload).
+type SetCell struct {
+	DS        string
+	Policy    string
+	Mode      dstruct.Mode
+	KeyRange  uint64
+	UpdatePct int
+}
+
+// ID is the cell's stable identity — a lossless function of the cell
+// configuration (sizing included, so differently-sized matrices can
+// never silently join in Compare).
+func (c SetCell) ID() string {
+	return SlugID("set", c.DS, c.Mode.String(), c.Policy,
+		fmt.Sprintf("k%d", c.KeyRange), fmt.Sprintf("u%d", c.UpdatePct))
+}
+
+// StoreCell is one point of the service-layer grid: a YCSB mix ×
+// distribution × policy against the sharded FliT-Store.
+type StoreCell struct {
+	Mix     string
+	Dist    string
+	Policy  string
+	Shards  int
+	Records uint64
+}
+
+// ID is the cell's stable identity (shard count and record count
+// included — see SetCell.ID).
+func (c StoreCell) ID() string {
+	return SlugID("store", c.Mix, c.Dist, c.Policy,
+		fmt.Sprintf("s%d", c.Shards), fmt.Sprintf("r%d", c.Records))
+}
+
+// Matrix declares a benchmark run: which cells, and how each is
+// measured (threads, warmup, measured duration, repeats). Zero values
+// take defaults scaled to the host.
+type Matrix struct {
+	Name     string
+	Threads  int           // default GOMAXPROCS
+	Duration time.Duration // per measured repeat; default 100ms
+	// Warmup is the discarded warm-up window per cell; zero defaults to
+	// Duration/2, any negative value means "no warmup".
+	Warmup  time.Duration
+	Repeats int   // measured repeats per cell; default 2
+	Seed    int64 // workload generator seed (0 is a valid seed)
+	// Latency additionally emits p99 cells for store workloads (off for
+	// the CI smoke matrix — tail latency is too noisy for a shared
+	// runner's gate; on for the nightly full matrix).
+	Latency bool
+	Set     []SetCell
+	Store   []StoreCell
+}
+
+func (m Matrix) withDefaults() Matrix {
+	if m.Threads == 0 {
+		m.Threads = runtime.GOMAXPROCS(0)
+	}
+	if m.Duration == 0 {
+		m.Duration = 100 * time.Millisecond
+	}
+	if m.Warmup == 0 {
+		m.Warmup = m.Duration / 2
+	}
+	if m.Warmup < 0 {
+		m.Warmup = 0
+	}
+	if m.Repeats == 0 {
+		m.Repeats = 2
+	}
+	return m
+}
+
+// Config renders the matrix knobs for the report header.
+func (m Matrix) Config() map[string]string {
+	return map[string]string{
+		"matrix":   m.Name,
+		"threads":  fmt.Sprint(m.Threads),
+		"duration": m.Duration.String(),
+		"warmup":   m.Warmup.String(),
+		"repeats":  fmt.Sprint(m.Repeats),
+		"seed":     fmt.Sprint(m.Seed),
+	}
+}
+
+// Run executes every cell — warmup window discarded, repeats folded
+// through the stats kernel — and returns the validated report.
+func (m Matrix) Run() (*Report, error) {
+	m = m.withDefaults()
+	if len(m.Set) == 0 && len(m.Store) == 0 {
+		return nil, fmt.Errorf("bench: matrix %q has no cells", m.Name)
+	}
+	rep := NewReport("bench-matrix", m.Config())
+	for _, c := range m.Set {
+		m.runSet(rep, c)
+	}
+	for _, c := range m.Store {
+		if err := m.runStore(rep, c); err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runSet measures one data-structure cell via the figure harness.
+func (m Matrix) runSet(rep *Report, c SetCell) {
+	total := m.Warmup + m.Duration*time.Duration(m.Repeats)
+	inst := harness.Build(harness.Spec{
+		DS: c.DS, Policy: c.Policy, Mode: c.Mode,
+		KeyRange: c.KeyRange, Duration: total,
+	})
+	inst.Prefill()
+	w := harness.Workload{Threads: m.Threads, UpdatePct: c.UpdatePct, Duration: m.Duration}
+	if m.Warmup > 0 {
+		warm := w
+		warm.Duration = m.Warmup
+		harness.RunWorkload(inst, warm)
+	}
+	res := harness.RepeatRuns(m.Repeats, func() harness.Result {
+		return harness.RunWorkload(inst, w)
+	})
+	id := c.ID()
+	rep.Add(Cell{
+		ID: id + "/throughput", Unit: "ops/s", Value: res.Throughput,
+		Ops: res.Ops, PWBs: res.PWBs, PFences: res.PFences,
+	})
+	rep.Add(Cell{
+		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: res.PWBRate,
+		LowerIsBetter: true,
+	})
+}
+
+// runStore measures one service cell: build the sharded store, YCSB
+// load, warmup, repeated timed runs.
+func (m Matrix) runStore(rep *Report, c StoreCell) error {
+	st, err := store.New(store.Options{
+		Shards:       c.Shards,
+		ExpectedKeys: int(c.Records) * 3,
+		Policy:       c.Policy,
+		Mode:         dstruct.Automatic,
+	})
+	if err != nil {
+		return err
+	}
+	workload.Load(st, c.Records, m.Threads)
+	spec := workload.Spec{
+		Mix: c.Mix, Dist: c.Dist, Threads: m.Threads,
+		Duration: m.Duration, Records: c.Records, Seed: m.Seed,
+	}
+	if m.Warmup > 0 {
+		warm := spec
+		warm.Duration = m.Warmup
+		if _, err := workload.Run(st, warm); err != nil {
+			return err
+		}
+	}
+	var tput, pwbRate, p99 []float64
+	var ops, pwbs, pfences uint64
+	var p50Sum, p95Sum, p99Sum int64
+	for i := 0; i < m.Repeats; i++ {
+		r, err := workload.Run(st, spec)
+		if err != nil {
+			return err
+		}
+		tput = append(tput, r.OpsPerSec)
+		pwbRate = append(pwbRate, r.PWBsPerOp)
+		p99 = append(p99, float64(r.P99.Nanoseconds()))
+		ops += r.Ops
+		pwbs += r.PWBs
+		pfences += r.PFences
+		p50Sum += r.P50.Nanoseconds()
+		p95Sum += r.P95.Nanoseconds()
+		p99Sum += r.P99.Nanoseconds()
+	}
+	n := int64(m.Repeats)
+	id := c.ID()
+	rep.Add(Cell{
+		ID: id + "/throughput", Unit: "ops/s", Value: stats.Summarize(tput),
+		Ops: ops, PWBs: pwbs, PFences: pfences,
+		P50Ns: p50Sum / n, P95Ns: p95Sum / n, P99Ns: p99Sum / n,
+	})
+	rep.Add(Cell{
+		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Summarize(pwbRate),
+		LowerIsBetter: true,
+	})
+	if m.Latency {
+		rep.Add(Cell{
+			ID: id + "/p99", Unit: "ns", Value: stats.Summarize(p99),
+			LowerIsBetter: true,
+		})
+	}
+	return nil
+}
+
+// CrossSet expands the cross product of structures × policies × modes ×
+// update ratios into set cells, skipping the one inapplicable
+// combination (link-and-persist on the NM-BST, as in Figure 7).
+func CrossSet(dss, policies []string, modes []dstruct.Mode, keyRange uint64, upds []int) []SetCell {
+	var out []SetCell
+	for _, ds := range dss {
+		for _, pol := range policies {
+			if pol == core.PolicyLAP && ds == "bst" {
+				continue
+			}
+			for _, mode := range modes {
+				for _, u := range upds {
+					out = append(out, SetCell{
+						DS: ds, Policy: pol, Mode: mode, KeyRange: keyRange, UpdatePct: u,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Presets are the named matrices the CLI and CI run. "smoke" is the CI
+// perf-gate: a small fixed grid, cheap enough for every push, exercising
+// both the figure harness and the store service. "full" is the nightly
+// matrix: every structure and headline policy plus the YCSB mixes.
+func Presets() map[string]Matrix {
+	return map[string]Matrix{
+		"smoke": {
+			Name:     "smoke",
+			Duration: 80 * time.Millisecond,
+			Warmup:   40 * time.Millisecond,
+			Repeats:  2,
+			Seed:     1,
+			Set: CrossSet(
+				[]string{"bst", "hashtable"},
+				[]string{core.PolicyPlain, core.PolicyHT},
+				[]dstruct.Mode{dstruct.Automatic},
+				4096, []int{0, 50},
+			),
+			Store: []StoreCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+				{Mix: "c", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+			},
+		},
+		"full": {
+			Name:     "full",
+			Duration: 200 * time.Millisecond,
+			Warmup:   100 * time.Millisecond,
+			Repeats:  3,
+			Seed:     1,
+			Latency:  true,
+			Set: CrossSet(
+				[]string{"bst", "hashtable", "list", "skiplist"},
+				[]string{core.PolicyPlain, core.PolicyAdjacent, core.PolicyHT, core.PolicyLAP},
+				[]dstruct.Mode{dstruct.Automatic},
+				10_000, []int{0, 5, 50},
+			),
+			Store: []StoreCell{
+				{Mix: "a", Dist: workload.DistUniform, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
+				{Mix: "b", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
+				{Mix: "c", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
+				{Mix: "f", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
+			},
+		},
+	}
+}
+
+// Preset looks up a named matrix.
+func Preset(name string) (Matrix, bool) {
+	m, ok := Presets()[name]
+	return m, ok
+}
+
+// PresetNames lists the preset matrices in a stable order.
+func PresetNames() []string { return []string{"smoke", "full"} }

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/dstruct"
+	"flit/internal/harness"
+	"flit/internal/workload"
+)
+
+// TestMatrixRunTiny drives one set cell and one store cell at very short
+// durations and checks the report comes back schema-valid with both
+// metric kinds per cell.
+func TestMatrixRunTiny(t *testing.T) {
+	m := Matrix{
+		Name:     "tiny",
+		Threads:  2,
+		Duration: 15 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Repeats:  2,
+		Seed:     1,
+		Set: []SetCell{
+			{DS: "hashtable", Policy: core.PolicyHT, Mode: dstruct.Automatic, KeyRange: 512, UpdatePct: 50},
+		},
+		Store: []StoreCell{
+			{Mix: "a", Dist: workload.DistUniform, Policy: core.PolicyHT, Shards: 2, Records: 1024},
+		},
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("want 4 cells (throughput+pwbs_per_op × 2), got %d: %+v", len(rep.Cells), rep.Cells)
+	}
+	tput := rep.Find("set/hashtable/automatic/flit-ht/k512/u50/throughput")
+	if tput == nil {
+		t.Fatalf("set throughput cell missing; have %v", cellIDs(rep))
+	}
+	if tput.Value.N != 2 || tput.Value.Mean <= 0 || tput.Ops == 0 {
+		t.Fatalf("set throughput cell not folded from 2 repeats: %+v", tput)
+	}
+	pwb := rep.Find("set/hashtable/automatic/flit-ht/k512/u50/pwbs_per_op")
+	if pwb == nil || !pwb.LowerIsBetter || pwb.Value.Mean <= 0 {
+		t.Fatalf("flit-ht at 50%% updates must flush: %+v", pwb)
+	}
+	stp := rep.Find("store/a/uniform/flit-ht/s2/r1024/throughput")
+	if stp == nil || stp.Value.Mean <= 0 || stp.P99Ns <= 0 {
+		t.Fatalf("store cell missing latency/throughput: %+v", stp)
+	}
+	// A matrix self-compare is the degenerate CI gate: it must pass.
+	res, err := Compare(rep, rep, 0)
+	if err != nil || !res.OK() {
+		t.Fatalf("self-compare failed: %v %+v", err, res)
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	if _, err := (Matrix{Name: "void"}).Run(); err == nil {
+		t.Fatal("empty matrix must error")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, ok := Preset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if len(m.Set)+len(m.Store) == 0 {
+			t.Fatalf("preset %q has no cells", name)
+		}
+		seen := map[string]bool{}
+		for _, c := range m.Set {
+			if seen[c.ID()] {
+				t.Fatalf("preset %q duplicate cell %s", name, c.ID())
+			}
+			seen[c.ID()] = true
+			if _, err := core.NewPolicyByName(c.Policy, 1<<12, 0); err != nil {
+				t.Fatalf("preset %q names unknown policy: %v", name, err)
+			}
+			if c.Policy == core.PolicyLAP && c.DS == "bst" {
+				t.Fatalf("preset %q contains the inapplicable lap×bst cell", name)
+			}
+		}
+		for _, c := range m.Store {
+			if _, err := workload.MixByName(c.Mix); err != nil {
+				t.Fatalf("preset %q names unknown mix: %v", name, err)
+			}
+		}
+	}
+	if _, ok := Preset("no-such-matrix"); ok {
+		t.Fatal("unknown preset should not resolve")
+	}
+	// Differently-sized matrices must never share cell IDs: Compare
+	// joins by ID, and a smoke-vs-full join would gate on non-comparable
+	// measurements.
+	smoke, _ := Preset("smoke")
+	full, _ := Preset("full")
+	smokeIDs := map[string]bool{}
+	for _, c := range smoke.Set {
+		smokeIDs[c.ID()] = true
+	}
+	for _, c := range smoke.Store {
+		smokeIDs[c.ID()] = true
+	}
+	for _, c := range full.Set {
+		if smokeIDs[c.ID()] {
+			t.Errorf("smoke and full share cell id %s", c.ID())
+		}
+	}
+	for _, c := range full.Store {
+		if smokeIDs[c.ID()] {
+			t.Errorf("smoke and full share cell id %s", c.ID())
+		}
+	}
+}
+
+// TestFromTablesFig9Shape converts a real (tiny) figure run and checks
+// cell identity, units and repeat statistics survive the conversion.
+func TestFromTablesFig9Shape(t *testing.T) {
+	o := harness.Options{Threads: 2, Duration: 10 * time.Millisecond, Repeats: 2}
+	tables := harness.Fig9(o)
+	rep := FromTables(map[string]string{"figures": "9"}, map[string][]*harness.Table{"9": tables})
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if !strings.HasPrefix(c.ID, "fig-9/") {
+			t.Fatalf("cell id %q lacks figure prefix", c.ID)
+		}
+		if c.Unit != "pwbs/op" || !c.LowerIsBetter {
+			t.Fatalf("fig9 cells are flush rates, got %+v", c)
+		}
+		if c.Value.N != o.Repeats {
+			t.Fatalf("cell %q lost repeat statistics: %+v", c.ID, c.Value)
+		}
+	}
+}
+
+func cellIDs(r *Report) []string {
+	ids := make([]string, len(r.Cells))
+	for i, c := range r.Cells {
+		ids[i] = c.ID
+	}
+	return ids
+}

@@ -1,0 +1,67 @@
+// Package stats is the leaf statistics kernel of the bench subsystem:
+// summary statistics over repeated benchmark samples. It is a separate
+// package (rather than part of internal/bench) so that internal/harness
+// can fold its repetition through the same code without an import cycle
+// — internal/bench imports internal/harness to run figure matrices.
+package stats
+
+import "math"
+
+// Summary condenses repeated samples of one quantity. Mean is the value
+// every human-readable rendering shows; Stddev/Min/Max qualify how
+// stable it was across repeats. A Summary with N == 1 is a single
+// observation (Stddev 0, Min == Mean == Max).
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev,omitempty"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize folds samples into a Summary (sample standard deviation,
+// n-1 denominator). An empty slice yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var sq float64
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.Stddev = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Of wraps a single observation.
+func Of(x float64) Summary { return Summary{N: 1, Mean: x, Min: x, Max: x} }
+
+// Scale multiplies the summary by k (unit conversions: ops/s → Mops/s).
+func (s Summary) Scale(k float64) Summary {
+	s.Mean *= k
+	s.Stddev *= math.Abs(k)
+	s.Min *= k
+	s.Max *= k
+	if k < 0 {
+		s.Min, s.Max = s.Max, s.Min
+	}
+	return s
+}
+
+// IsZero reports whether the summary holds no observations.
+func (s Summary) IsZero() bool { return s.N == 0 }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"flit/internal/bench/stats"
+	"flit/internal/harness"
+)
+
+// FromTables converts figure output (the harness's Table renderings)
+// into schema cells, so `flitbench -fig 7 -json r.json` emits the same
+// report format as the matrix runner. Cell IDs are slugs of
+// figure/table/row/column; cells carry the per-repeat summaries the
+// harness attached where a row was measured directly (derived rows —
+// ratios, speedups — become single observations of the rendered value).
+func FromTables(config map[string]string, figures map[string][]*harness.Table) *Report {
+	rep := NewReport("flitbench", config)
+	for _, fig := range sortedKeys(figures) {
+		for _, t := range figures[fig] {
+			lower := lowerIsBetterUnit(t.Unit)
+			for _, row := range t.Rows {
+				for i, v := range row.Cells {
+					col := fmt.Sprintf("c%d", i)
+					if i < len(t.Cols) {
+						col = t.Cols[i]
+					}
+					val := stats.Of(v)
+					if i < len(row.Stats) {
+						val = row.Stats[i]
+						if val.IsZero() {
+							// Unmeasured cell (inapplicable combination,
+							// rendered "-" in the text table): no JSON cell.
+							continue
+						}
+					}
+					rep.Add(Cell{
+						ID:            SlugID("fig-"+fig, t.Title, row.Label, col),
+						Unit:          t.Unit,
+						Value:         val,
+						LowerIsBetter: lower,
+					})
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// lowerIsBetterUnit classifies a table's unit by exact name — substring
+// matching is a trap here (the Fig7 speedup table's unit is
+// "x (>=1 means FliT wins)", where "means" contains "ns").
+func lowerIsBetterUnit(unit string) bool {
+	switch unit {
+	case "pwbs/op", "ns", "µs", "ms":
+		return true
+	}
+	return false
+}
+
+func sortedKeys(m map[string][]*harness.Table) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

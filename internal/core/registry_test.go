@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyRegistryRoundTrip constructs every registered policy name
+// and checks the constructed policy identifies itself consistently with
+// the registry: simple policies report their canonical name verbatim;
+// parameterized flit variants keep the "flit-" family prefix with their
+// sizing appended.
+func TestPolicyRegistryRoundTrip(t *testing.T) {
+	exact := map[string]bool{
+		PolicyNoPersist: true, PolicyPlain: true, PolicyIz: true,
+		PolicyLAP: true, PolicyAdjacent: true, PolicyPerLine: true,
+	}
+	for _, name := range PolicyNames() {
+		pol, err := NewPolicyByName(name, 1<<12, 0)
+		if err != nil {
+			t.Fatalf("NewPolicyByName(%q): %v", name, err)
+		}
+		if pol == nil {
+			t.Fatalf("NewPolicyByName(%q): nil policy", name)
+		}
+		got := pol.Name()
+		if exact[name] && got != name {
+			t.Errorf("policy %q self-reports %q", name, got)
+		}
+		if !exact[name] && !strings.HasPrefix(strings.ToLower(got), name) {
+			t.Errorf("policy %q self-reports %q (want prefix %q)", name, got, name)
+		}
+	}
+}
+
+func TestPolicyRegistryHTBytesDefault(t *testing.T) {
+	// htBytes == 0 defaults to the paper's 1MB table.
+	pol, err := NewPolicyByName(PolicyHT, 1<<12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.Name(); !strings.Contains(got, "1MB") {
+		t.Fatalf("default flit-ht sizing not 1MB: %q", got)
+	}
+	pol, err = NewPolicyByName(PolicyPacked, 1<<12, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.Name(); !strings.Contains(got, "64KB") {
+		t.Fatalf("explicit packed sizing lost: %q", got)
+	}
+}
+
+func TestPolicyRegistryUnknown(t *testing.T) {
+	pol, err := NewPolicyByName("flit-nonsense", 1<<12, 0)
+	if err == nil || pol != nil {
+		t.Fatalf("unknown name should error, got %v, %v", pol, err)
+	}
+	if !strings.Contains(err.Error(), "flit-nonsense") {
+		t.Fatalf("error should name the offender: %v", err)
+	}
+	for _, known := range PolicyNames() {
+		if !strings.Contains(err.Error(), known) {
+			t.Fatalf("error should list known policies (missing %q): %v", known, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"flit/internal/bench/stats"
 	"flit/internal/dstruct"
 )
 
@@ -64,7 +65,8 @@ func largeSize(ds string) uint64 {
 var DataStructures = []string{"bst", "hashtable", "list", "skiplist"}
 
 // measureUpdSweep builds+prefills one instance and runs it at each update
-// ratio, reusing the steady-state fill across ratios.
+// ratio, reusing the steady-state fill across ratios. Repetition folds
+// through RepeatRuns like every other cell.
 func measureUpdSweep(s Spec, o Options, upds []int) []Result {
 	s.Duration = o.Duration * time.Duration(o.Repeats*len(upds))
 	inst := Build(s)
@@ -72,18 +74,7 @@ func measureUpdSweep(s Spec, o Options, upds []int) []Result {
 	out := make([]Result, len(upds))
 	for i, u := range upds {
 		w := Workload{Threads: o.Threads, UpdatePct: u, Duration: o.Duration}
-		var acc Result
-		for r := 0; r < o.Repeats; r++ {
-			res := RunWorkload(inst, w)
-			acc.Label = res.Label
-			acc.Ops += res.Ops
-			acc.PWBs += res.PWBs
-			acc.OpsPerSec += res.OpsPerSec / float64(o.Repeats)
-		}
-		if acc.Ops > 0 {
-			acc.PWBsPerOp = float64(acc.PWBs) / float64(acc.Ops)
-		}
-		out[i] = acc
+		out[i] = RepeatRuns(o.Repeats, func() Result { return RunWorkload(inst, w) })
 	}
 	return out
 }
@@ -104,11 +95,11 @@ func Fig5(o Options) []*Table {
 		s := Spec{DS: "bst", Policy: PolHT, HTBytes: bytes, Mode: dstruct.Automatic,
 			KeyRange: smallSize("bst"), Invalidate: o.Invalidate}
 		res := measureUpdSweep(s, o, upds)
-		cells := make([]float64, len(res))
+		cells := make([]stats.Summary, len(res))
 		for i, r := range res {
-			cells[i] = r.OpsPerSec / 1e6
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
-		t.AddRow(s.PolicyLabel(), cells...)
+		t.AddRowStats(s.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: larger tables lose at 0% updates (cache residency); 4KB collapses at >=5% (line collisions)")
@@ -138,15 +129,17 @@ func Fig6(o Options) []*Table {
 	}
 	for _, pol := range fig6Policies {
 		s := Spec{DS: "bst", Policy: pol, Mode: dstruct.Automatic,
-			KeyRange: smallSize("bst"), Invalidate: o.Invalidate, Duration: o.Duration}
+			KeyRange: smallSize("bst"), Invalidate: o.Invalidate,
+			Duration: o.Duration * time.Duration(o.Repeats)}
 		inst := Build(s)
 		inst.Prefill()
-		cells := make([]float64, len(threads))
+		cells := make([]stats.Summary, len(threads))
 		for i, n := range threads {
-			r := RunWorkload(inst, Workload{Threads: n, UpdatePct: 5, Duration: o.Duration})
-			cells[i] = r.OpsPerSec / 1e6
+			w := Workload{Threads: n, UpdatePct: 5, Duration: o.Duration}
+			r := RepeatRuns(o.Repeats, func() Result { return RunWorkload(inst, w) })
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
-		t.AddRow(s.PolicyLabel(), cells...)
+		t.AddRowStats(s.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("host has %d CPUs; counts beyond that oversubscribe goroutines", runtime.NumCPU()))
@@ -178,16 +171,16 @@ func Fig7(o Options) []*Table {
 			KeyRange: smallSize(ds), Invalidate: o.Invalidate},
 			Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
 		for _, mode := range dstruct.Modes {
-			cells := make([]float64, 4)
+			cells := make([]stats.Summary, 4)
 			for i, pol := range fig7Policies(ds) {
 				r := o.measure(Spec{DS: ds, Policy: pol, Mode: mode,
 					KeyRange: smallSize(ds), Invalidate: o.Invalidate},
 					Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
-				cells[i] = r.OpsPerSec / 1e6
+				cells[i] = r.Throughput.Scale(1e-6)
 			}
-			t.AddRow(mode.String(), cells...)
+			t.AddRowStats(mode.String(), cells...)
 		}
-		t.AddRow("non-persistent baseline", base.OpsPerSec/1e6)
+		t.AddRowStats("non-persistent baseline", base.Throughput.Scale(1e-6))
 		tables = append(tables, t)
 	}
 	tables = append(tables, speedupTable(tables))
@@ -298,15 +291,15 @@ func Fig9(o Options) []*Table {
 		{"list", dstruct.Automatic}, {"list", dstruct.Manual},
 	}
 	for _, pol := range fig8Series {
-		cells := make([]float64, len(cols))
+		cells := make([]stats.Summary, len(cols))
 		for i, c := range cols {
 			r := o.measure(Spec{DS: c.ds, Policy: pol, Mode: c.mode,
 				KeyRange: smallSize(c.ds), Invalidate: o.Invalidate},
 				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
-			cells[i] = r.PWBsPerOp
+			cells[i] = r.PWBRate
 		}
 		probe := Spec{DS: "list", Policy: pol}
-		t.AddRow(probe.PolicyLabel(), cells...)
+		t.AddRowStats(probe.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes,
 		"paper: counts are similar across FliT variants; flit-adjacent/link-and-persist inflate on list/auto only under invalidating clwb (see ablation A)")
@@ -325,15 +318,15 @@ func AblationInvalidate(o Options) []*Table {
 		Unit:    "pwbs/op",
 	}
 	for _, pol := range fig8Series {
-		cells := make([]float64, 2)
+		cells := make([]stats.Summary, 2)
 		for i, inval := range []bool{false, true} {
 			r := o.measure(Spec{DS: "list", Policy: pol, Mode: dstruct.Automatic,
 				KeyRange: smallSize("list"), Invalidate: inval},
 				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
-			cells[i] = r.PWBsPerOp
+			cells[i] = r.PWBRate
 		}
 		probe := Spec{DS: "list", Policy: pol}
-		t.AddRow(probe.PolicyLabel(), cells...)
+		t.AddRowStats(probe.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes,
 		"paper observes the 'invalidating' column on hardware; non-invalidating is Intel's documented intent")
@@ -362,11 +355,11 @@ func AblationPacked(o Options) []*Table {
 		s := Spec{DS: "bst", Policy: variant.pol, HTBytes: variant.bytes,
 			Mode: dstruct.Automatic, KeyRange: smallSize("bst"), Invalidate: o.Invalidate}
 		res := measureUpdSweep(s, o, upds)
-		cells := make([]float64, len(res))
+		cells := make([]stats.Summary, len(res))
 		for i, r := range res {
-			cells[i] = r.OpsPerSec / 1e6
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
-		t.AddRow(s.PolicyLabel(), cells...)
+		t.AddRowStats(s.PolicyLabel(), cells...)
 	}
 	return []*Table{t}
 }
@@ -382,15 +375,15 @@ func AblationPerLine(o Options) []*Table {
 		Unit:    "Mops/s",
 	}
 	for _, pol := range []string{PolHT, PolAdjacent, PolPerLine} {
-		cells := make([]float64, len(DataStructures))
+		cells := make([]stats.Summary, len(DataStructures))
 		for i, ds := range DataStructures {
 			r := o.measure(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic,
 				KeyRange: smallSize(ds), Invalidate: o.Invalidate},
 				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
-			cells[i] = r.OpsPerSec / 1e6
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
 		probe := Spec{DS: "bst", Policy: pol}
-		t.AddRow(probe.PolicyLabel(), cells...)
+		t.AddRowStats(probe.PolicyLabel(), cells...)
 	}
 	return []*Table{t}
 }
@@ -409,15 +402,15 @@ func AblationIzraelevitz(o Options) []*Table {
 		Unit:    "Mops/s",
 	}
 	for _, pol := range []string{PolIz, PolPlain, PolHT} {
-		cells := make([]float64, len(DataStructures))
+		cells := make([]stats.Summary, len(DataStructures))
 		for i, ds := range DataStructures {
 			r := o.measure(Spec{DS: ds, Policy: pol, Mode: dstruct.Automatic,
 				KeyRange: smallSize(ds), Invalidate: o.Invalidate},
 				Workload{Threads: o.Threads, UpdatePct: 5, Duration: o.Duration})
-			cells[i] = r.OpsPerSec / 1e6
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
 		probe := Spec{DS: "bst", Policy: pol}
-		t.AddRow(probe.PolicyLabel(), cells...)
+		t.AddRowStats(probe.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes, "paper: FliT is up to 200x the plain-flush construction; izraelevitz fences every p-load")
 	return []*Table{t}
@@ -437,15 +430,15 @@ func AblationZipf(o Options) []*Table {
 		Unit:    "Mops/s",
 	}
 	for _, pol := range []string{PolPlain, PolAdjacent, PolHT, PolPerLine} {
-		cells := make([]float64, len(skews))
+		cells := make([]stats.Summary, len(skews))
 		for i, s := range skews {
 			r := o.measure(Spec{DS: "bst", Policy: pol, Mode: dstruct.Automatic,
 				KeyRange: smallSize("bst"), Invalidate: o.Invalidate},
 				Workload{Threads: o.Threads, UpdatePct: 50, Duration: o.Duration, ZipfS: s})
-			cells[i] = r.OpsPerSec / 1e6
+			cells[i] = r.Throughput.Scale(1e-6)
 		}
 		probe := Spec{DS: "bst", Policy: pol}
-		t.AddRow(probe.PolicyLabel(), cells...)
+		t.AddRowStats(probe.PolicyLabel(), cells...)
 	}
 	t.Notes = append(t.Notes, "hot keys concentrate flit-counter traffic; FliT must keep its lead under skew")
 	return []*Table{t}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flit/internal/bench/stats"
 )
 
 // Workload is a timed benchmark mix, matching the paper's setup: updates
@@ -20,7 +22,10 @@ type Workload struct {
 	ZipfS float64
 }
 
-// Result aggregates one run.
+// Result aggregates one run, or — after RepeatRuns — the fold of
+// several. OpsPerSec and PWBsPerOp always equal Throughput.Mean and
+// PWBRate.Mean, so every rendering (text table, CSV, JSON) reads the
+// same averaged value.
 type Result struct {
 	Label     string
 	Ops       uint64
@@ -29,6 +34,10 @@ type Result struct {
 	PFences   uint64
 	PWBsPerOp float64
 	Elapsed   time.Duration
+	// Throughput (ops/s) and PWBRate (pwbs/op) summarize the per-run
+	// samples across repeats; N == 1 for a single run.
+	Throughput stats.Summary
+	PWBRate    stats.Summary
 }
 
 func (r Result) String() string {
@@ -86,21 +95,23 @@ func RunWorkload(inst *Instance, w Workload) Result {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	stats := inst.Mem.TotalStats()
+	mstats := inst.Mem.TotalStats()
 	ops := totalOps.Load()
 	res := Result{
 		Label:   inst.Label(),
 		Ops:     ops,
-		PWBs:    stats.PWBs,
-		PFences: stats.PFences,
+		PWBs:    mstats.PWBs,
+		PFences: mstats.PFences,
 		Elapsed: elapsed,
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(ops) / elapsed.Seconds()
 	}
 	if ops > 0 {
-		res.PWBsPerOp = float64(stats.PWBs) / float64(ops)
+		res.PWBsPerOp = float64(mstats.PWBs) / float64(ops)
 	}
+	res.Throughput = stats.Of(res.OpsPerSec)
+	res.PWBRate = stats.Of(res.PWBsPerOp)
 	return res
 }
 
@@ -112,6 +123,36 @@ func Measure(s Spec, w Workload) Result {
 	return RunWorkload(inst, w)
 }
 
+// RepeatRuns invokes run n times and folds the results through the
+// bench statistics kernel: counts and elapsed time accumulate, the rate
+// quantities (ops/s, pwbs/op) are summarized across runs with the mean
+// exposed as OpsPerSec/PWBsPerOp. Every repetition in the harness —
+// MeasureRepeated, the figure sweeps, the bench matrix — goes through
+// this one fold, so text tables, CSV and JSON all agree.
+func RepeatRuns(n int, run func() Result) Result {
+	if n < 1 {
+		n = 1
+	}
+	var acc Result
+	ops := make([]float64, 0, n)
+	pwbs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r := run()
+		acc.Label = r.Label
+		acc.Ops += r.Ops
+		acc.PWBs += r.PWBs
+		acc.PFences += r.PFences
+		acc.Elapsed += r.Elapsed
+		ops = append(ops, r.OpsPerSec)
+		pwbs = append(pwbs, r.PWBsPerOp)
+	}
+	acc.Throughput = stats.Summarize(ops)
+	acc.PWBRate = stats.Summarize(pwbs)
+	acc.OpsPerSec = acc.Throughput.Mean
+	acc.PWBsPerOp = acc.PWBRate.Mean
+	return acc
+}
+
 // MeasureRepeated averages n runs on one prefilled instance — the paper
 // reports the average of 5 runs of every configuration.
 func MeasureRepeated(s Spec, w Workload, n int) Result {
@@ -121,18 +162,5 @@ func MeasureRepeated(s Spec, w Workload, n int) Result {
 	s.Duration = w.Duration * time.Duration(n)
 	inst := Build(s)
 	inst.Prefill()
-	var acc Result
-	for i := 0; i < n; i++ {
-		r := RunWorkload(inst, w)
-		acc.Label = r.Label
-		acc.Ops += r.Ops
-		acc.PWBs += r.PWBs
-		acc.PFences += r.PFences
-		acc.OpsPerSec += r.OpsPerSec / float64(n)
-		acc.Elapsed += r.Elapsed
-	}
-	if acc.Ops > 0 {
-		acc.PWBsPerOp = float64(acc.PWBs) / float64(acc.Ops)
-	}
-	return acc
+	return RepeatRuns(n, func() Result { return RunWorkload(inst, w) })
 }

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"flit/internal/bench/stats"
 )
 
 // Table is a formatted experiment result: one row per series, one column
@@ -23,11 +25,26 @@ type Table struct {
 type TableRow struct {
 	Label string
 	Cells []float64
+	// Stats, when non-nil, parallels Cells with the repeat statistics the
+	// cell means were folded from; the JSON export carries it, the text
+	// and CSV renderings show Cells (the means), so all three agree.
+	Stats []stats.Summary
 }
 
-// AddRow appends a series.
+// AddRow appends a series of bare values (derived quantities like
+// ratios, which have no per-repeat samples of their own).
 func (t *Table) AddRow(label string, cells ...float64) {
 	t.Rows = append(t.Rows, TableRow{Label: label, Cells: cells})
+}
+
+// AddRowStats appends a series of summarized measurements; the rendered
+// cell value is each summary's mean.
+func (t *Table) AddRowStats(label string, sums ...stats.Summary) {
+	row := TableRow{Label: label, Stats: sums, Cells: make([]float64, len(sums))}
+	for i, s := range sums {
+		row.Cells[i] = s.Mean
+	}
+	t.Rows = append(t.Rows, row)
 }
 
 // Format renders the table as aligned text.
