@@ -58,6 +58,7 @@ func main() {
 	out := flag.String("out", "", "also append output to this file")
 	repeats := flag.Int("repeats", 1, "average each cell over N runs (the paper used 5)")
 	seed := flag.Int64("seed", 1, "matrix mode: workload generator seed")
+	vclock := flag.Bool("vclock", false, "matrix mode: virtual-clock cost accounting (no spin loops; pwbs/op cells identical, throughput cells not comparable with spin-mode reports)")
 	csv := flag.String("csv", "", "also append CSV-formatted tables to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable BenchReport (see internal/bench) to this file")
 	listFigs := flag.Bool("list", false, "list available figures and exit")
@@ -71,7 +72,7 @@ func main() {
 	}
 
 	if *matrix != "" {
-		runMatrix(*matrix, *threads, *duration, *warmup, *repeats, *seed, *jsonOut)
+		runMatrix(*matrix, *threads, *duration, *warmup, *repeats, *seed, *vclock, *jsonOut)
 		return
 	}
 
@@ -142,12 +143,13 @@ func main() {
 
 // runMatrix executes a preset matrix, applying whichever measurement
 // flags the user set explicitly.
-func runMatrix(name string, threads int, duration, warmup time.Duration, repeats int, seed int64, jsonOut string) {
+func runMatrix(name string, threads int, duration, warmup time.Duration, repeats int, seed int64, vclock bool, jsonOut string) {
 	m, ok := bench.Preset(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "flitbench: unknown matrix %q (known: %s)\n", name, strings.Join(bench.PresetNames(), ", "))
 		os.Exit(1)
 	}
+	m.VirtualClock = vclock
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["threads"] {

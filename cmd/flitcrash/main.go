@@ -89,7 +89,9 @@ func main() {
 					cm := crashModes[r%len(crashModes)]
 					pol := policyByName(polName, words)
 					mcfg := pmem.DefaultConfig(words)
-					mcfg.PWBCost, mcfg.PFenceCost, mcfg.PFenceEntryCost = 0, 0, 0
+					// Crash validation never reads a latency number: the
+					// virtual clock keeps modeled costs at spin-free speed.
+					mcfg.VirtualClock = true
 					cfg := dstruct.Config{
 						Heap: pheap.New(pmem.New(mcfg)), Policy: pol, Mode: mode,
 						RootSlot: 0, Stride: dstruct.StrideFor(pol),

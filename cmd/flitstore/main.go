@@ -124,6 +124,7 @@ func main() {
 	crashMode := flag.String("crashmode", pmem.RandomSubset.String(), "crash image semantics (drop-unfenced|random-subset|persist-all)")
 	crashOps := flag.Int("crash-ops", 240, "recorded ops per worker in the crash phase")
 	seed := flag.Int64("seed", 1, "base seed")
+	vclock := flag.Bool("vclock", false, "virtual-clock cost accounting (no spin loops; throughput not comparable with spin-mode runs)")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	benchOut := flag.String("bench-json", "", "also write the embedded BenchReport standalone (flitbench compare input)")
 	quiet := flag.Bool("quiet", false, "suppress the stderr summary table")
@@ -147,6 +148,7 @@ func main() {
 		ExpectedKeys: expected,
 		Policy:       *policy,
 		Mode:         mode,
+		VirtualClock: *vclock,
 	})
 	if err != nil {
 		fatal(err)
@@ -288,6 +290,7 @@ func benchReport(rep report) *bench.Report {
 			ID: id + "/throughput", Unit: "ops/s", Value: stats.Of(r.OpsPerSec),
 			Ops: r.Ops, PWBs: r.PWBs, PFences: r.PFences,
 			P50Ns: r.P50.Nanoseconds(), P95Ns: r.P95.Nanoseconds(), P99Ns: r.P99.Nanoseconds(),
+			NsPerOp: r.NsPerOp, AllocsPerOp: r.AllocsPerOp,
 		})
 		br.Add(bench.Cell{
 			ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Of(r.PWBsPerOp),

@@ -22,8 +22,15 @@ import (
 )
 
 // SchemaVersion stamps every report. Bump it when a field changes
-// meaning; Compare refuses to diff reports of different versions.
-const SchemaVersion = 1
+// meaning. Readers accept any version in [MinSchemaVersion,
+// SchemaVersion], so a v2 candidate can still be gated against a v1
+// baseline (whose cells simply lack the newer fields).
+//
+// v2 added per-cell wall-clock ns/op and allocs/op.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest report version readers still accept.
+const MinSchemaVersion = 1
 
 // Report is the versioned machine-readable benchmark record — the unit
 // of the repo's BENCH_*.json perf trajectory. Field names are stable
@@ -63,6 +70,13 @@ type Cell struct {
 	P50Ns   int64  `json:"p50_ns,omitempty"`
 	P95Ns   int64  `json:"p95_ns,omitempty"`
 	P99Ns   int64  `json:"p99_ns,omitempty"`
+
+	// Schema v2: wall-clock thread-nanoseconds per op and Go heap
+	// allocations per op over the measured window (mean across repeats)
+	// — the runner-overhead trajectory the simulated throughput numbers
+	// can't see. Absent (zero) in v1 reports.
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // NewReport stamps a report with the environment: git revision, Go
@@ -111,8 +125,9 @@ func (r *Report) Find(id string) *Cell {
 // name, and cells with unique non-empty IDs, units, at least one
 // observation, and finite numbers.
 func (r *Report) Validate() error {
-	if r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("bench: schema version %d, want %d", r.SchemaVersion, SchemaVersion)
+	if r.SchemaVersion < MinSchemaVersion || r.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("bench: schema version %d outside supported [%d,%d]",
+			r.SchemaVersion, MinSchemaVersion, SchemaVersion)
 	}
 	if r.Tool == "" {
 		return fmt.Errorf("bench: report has no tool")

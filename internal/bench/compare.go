@@ -30,6 +30,21 @@ type Delta struct {
 	// Improved marks movement beyond it in the good direction.
 	Regressed bool
 	Improved  bool
+
+	// Schema-v2 side metrics (wall-clock ns/op, allocs/op), carried when
+	// either report has them. Informational: wall time is host-noisy and
+	// allocation counts shift with Go releases, so they annotate the diff
+	// without feeding the gate.
+	OldNsPerOp     float64
+	NewNsPerOp     float64
+	OldAllocsPerOp float64
+	NewAllocsPerOp float64
+}
+
+// HasRuntimeMetrics reports whether either side carried v2 wall-clock /
+// allocation metrics.
+func (d Delta) HasRuntimeMetrics() bool {
+	return d.OldNsPerOp != 0 || d.NewNsPerOp != 0 || d.OldAllocsPerOp != 0 || d.NewAllocsPerOp != 0
 }
 
 // CompareResult is a cell-by-cell diff of two reports.
@@ -59,9 +74,10 @@ func (c CompareResult) OK() bool { return c.Regressions == 0 && len(c.MissingInN
 
 // Compare diffs new against old (the baseline) with one threshold for
 // every cell — the relative degradation tolerated, e.g. 0.10 for 10%.
-// Reports must share a schema version; tools may differ (a flitstore
-// report can be gated against a flitbench baseline as long as cell IDs
-// match).
+// Any supported schema versions may be mixed (a v2 candidate gates
+// against a v1 baseline; v1 cells simply lack the runtime metrics), and
+// tools may differ (a flitstore report can be gated against a flitbench
+// baseline as long as cell IDs match).
 func Compare(old, new *Report, threshold float64) (CompareResult, error) {
 	return CompareThresholds(old, new, threshold, threshold)
 }
@@ -92,7 +108,11 @@ func CompareThresholds(old, new *Report, threshold, lowerThreshold float64) (Com
 			res.MissingInNew = append(res.MissingInNew, oc.ID)
 			continue
 		}
-		d := Delta{ID: oc.ID, Unit: oc.Unit, Old: oc.Value.Mean, New: nc.Value.Mean}
+		d := Delta{
+			ID: oc.ID, Unit: oc.Unit, Old: oc.Value.Mean, New: nc.Value.Mean,
+			OldNsPerOp: oc.NsPerOp, NewNsPerOp: nc.NsPerOp,
+			OldAllocsPerOp: oc.AllocsPerOp, NewAllocsPerOp: nc.AllocsPerOp,
+		}
 		switch {
 		case d.Old != 0:
 			d.Change = (d.New - d.Old) / d.Old
@@ -148,6 +168,15 @@ func (c CompareResult) Format() string {
 		if !d.Regressed && !d.Improved {
 			stable++
 		}
+	}
+	// v2 runtime metrics, informational: the wall-clock and allocation
+	// trajectory of every cell that carries them.
+	for _, d := range c.Deltas {
+		if !d.HasRuntimeMetrics() {
+			continue
+		}
+		fmt.Fprintf(&b, "  runtime   %-60s %9.0f -> %-9.0f ns/op   %8.3f -> %-8.3f allocs/op\n",
+			d.ID, d.OldNsPerOp, d.NewNsPerOp, d.OldAllocsPerOp, d.NewAllocsPerOp)
 	}
 	for _, id := range c.MissingInNew {
 		fmt.Fprintf(&b, "MISSING     %s (in baseline, absent from candidate)\n", id)

@@ -65,8 +65,17 @@ type Matrix struct {
 	// the CI smoke matrix — tail latency is too noisy for a shared
 	// runner's gate; on for the nightly full matrix).
 	Latency bool
-	Set     []SetCell
-	Store   []StoreCell
+	// VirtualClock runs every cell with pmem's virtual-clock cost mode:
+	// modeled latency accrues to per-thread counters instead of spin
+	// loops. Single-threaded runs (the pinned CI smoke matrix) execute
+	// the identical instruction stream either way, so their pwbs/op
+	// cells match spin-mode runs exactly; with more threads, different
+	// interleavings can shift pwbs/op slightly (reader-helping flushes,
+	// CAS retries). Throughput cells are NOT comparable with spin-mode
+	// reports in any case — Compare surfaces the config difference.
+	VirtualClock bool
+	Set          []SetCell
+	Store        []StoreCell
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -97,6 +106,7 @@ func (m Matrix) Config() map[string]string {
 		"warmup":   m.Warmup.String(),
 		"repeats":  fmt.Sprint(m.Repeats),
 		"seed":     fmt.Sprint(m.Seed),
+		"vclock":   fmt.Sprint(m.VirtualClock),
 	}
 }
 
@@ -128,6 +138,7 @@ func (m Matrix) runSet(rep *Report, c SetCell) {
 	inst := harness.Build(harness.Spec{
 		DS: c.DS, Policy: c.Policy, Mode: c.Mode,
 		KeyRange: c.KeyRange, Duration: total,
+		VirtualClock: m.VirtualClock,
 	})
 	inst.Prefill()
 	w := harness.Workload{Threads: m.Threads, UpdatePct: c.UpdatePct, Duration: m.Duration}
@@ -143,6 +154,7 @@ func (m Matrix) runSet(rep *Report, c SetCell) {
 	rep.Add(Cell{
 		ID: id + "/throughput", Unit: "ops/s", Value: res.Throughput,
 		Ops: res.Ops, PWBs: res.PWBs, PFences: res.PFences,
+		NsPerOp: res.NsPerOp, AllocsPerOp: res.AllocsPerOp,
 	})
 	rep.Add(Cell{
 		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: res.PWBRate,
@@ -158,6 +170,7 @@ func (m Matrix) runStore(rep *Report, c StoreCell) error {
 		ExpectedKeys: int(c.Records) * 3,
 		Policy:       c.Policy,
 		Mode:         dstruct.Automatic,
+		VirtualClock: m.VirtualClock,
 	})
 	if err != nil {
 		return err
@@ -177,6 +190,7 @@ func (m Matrix) runStore(rep *Report, c StoreCell) error {
 	var tput, pwbRate, p99 []float64
 	var ops, pwbs, pfences uint64
 	var p50Sum, p95Sum, p99Sum int64
+	var nsPerOp, allocsPerOp float64
 	for i := 0; i < m.Repeats; i++ {
 		r, err := workload.Run(st, spec)
 		if err != nil {
@@ -191,6 +205,8 @@ func (m Matrix) runStore(rep *Report, c StoreCell) error {
 		p50Sum += r.P50.Nanoseconds()
 		p95Sum += r.P95.Nanoseconds()
 		p99Sum += r.P99.Nanoseconds()
+		nsPerOp += r.NsPerOp
+		allocsPerOp += r.AllocsPerOp
 	}
 	n := int64(m.Repeats)
 	id := c.ID()
@@ -198,6 +214,7 @@ func (m Matrix) runStore(rep *Report, c StoreCell) error {
 		ID: id + "/throughput", Unit: "ops/s", Value: stats.Summarize(tput),
 		Ops: ops, PWBs: pwbs, PFences: pfences,
 		P50Ns: p50Sum / n, P95Ns: p95Sum / n, P99Ns: p99Sum / n,
+		NsPerOp: nsPerOp / float64(n), AllocsPerOp: allocsPerOp / float64(n),
 	})
 	rep.Add(Cell{
 		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Summarize(pwbRate),

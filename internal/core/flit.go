@@ -33,47 +33,76 @@ func (f *FliT) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	return v
 }
 
-// store is Algorithm 4's shared-store skeleton around one primitive.
-func (f *FliT) store(t *pmem.Thread, a pmem.Addr, pflag bool, apply func() bool) bool {
+// Each shared-store primitive spells out Algorithm 4's skeleton —
+// leading fence, tag, apply, flush+fence, untag — directly around its
+// memory instruction rather than threading an apply closure through a
+// shared helper: the closure allocation and indirect call sat on every
+// instrumented store of every workload. persistTagged is the shared
+// epilogue for the primitives that always write.
+
+// persistTagged flushes, fences and untags a tagged p-store that was
+// applied (the success epilogue of Algorithm 4's shared-store).
+func (f *FliT) persistTagged(t *pmem.Thread, a pmem.Addr) {
+	t.PWB(a)
+	t.PFence() // the new value is persisted before untagging
+	f.C.Dec(t, a)
+}
+
+// Store implements Algorithm 4's shared-store for a plain write.
+func (f *FliT) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	t.CheckCrash()
 	t.PFence() // dependencies persist before the store linearizes
 	if !pflag {
-		return apply()
+		t.Store(a, v)
+		return
 	}
 	f.C.Inc(t, a)
-	ok := apply()
-	if ok {
-		t.PWB(a)
-		t.PFence() // the new value is persisted before untagging
+	t.Store(a, v)
+	f.persistTagged(t, a)
+}
+
+// CAS implements Algorithm 4's shared-store for compare-and-swap.
+func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
+	t.CheckCrash()
+	t.PFence() // dependencies persist before the store linearizes
+	if !pflag {
+		return t.CAS(a, old, new)
+	}
+	f.C.Inc(t, a)
+	if t.CAS(a, old, new) {
+		f.persistTagged(t, a)
+		return true
 	}
 	// On a failed CAS nothing was written: skip the flush, untag directly.
 	// Readers that raced the tag at worst flushed the old value (harmless,
 	// per the paper's safety argument for shared counters).
 	f.C.Dec(t, a)
-	return ok
-}
-
-// Store implements Algorithm 4's shared-store for a plain write.
-func (f *FliT) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
-	f.store(t, a, pflag, func() bool { t.Store(a, v); return true })
-}
-
-// CAS implements Algorithm 4's shared-store for compare-and-swap.
-func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
-	return f.store(t, a, pflag, func() bool { return t.CAS(a, old, new) })
+	return false
 }
 
 // FAA implements Algorithm 4's shared-store for fetch-and-add.
 func (f *FliT) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
-	var prev uint64
-	f.store(t, a, pflag, func() bool { prev = t.FAA(a, delta); return true })
+	t.CheckCrash()
+	t.PFence() // dependencies persist before the store linearizes
+	if !pflag {
+		return t.FAA(a, delta)
+	}
+	f.C.Inc(t, a)
+	prev := t.FAA(a, delta)
+	f.persistTagged(t, a)
 	return prev
 }
 
 // Exchange implements Algorithm 4's shared-store for swap.
 func (f *FliT) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
-	var prev uint64
-	f.store(t, a, pflag, func() bool { prev = t.Exchange(a, v); return true })
+	t.CheckCrash()
+	t.PFence() // dependencies persist before the store linearizes
+	if !pflag {
+		return t.Exchange(a, v)
+	}
+	f.C.Inc(t, a)
+	prev := t.Exchange(a, v)
+	f.persistTagged(t, a)
 	return prev
 }
 

@@ -27,42 +27,54 @@ func (Izraelevitz) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	return v
 }
 
-func izStore(t *pmem.Thread, a pmem.Addr, pflag bool, apply func() bool) {
-	t.CheckCrash()
-	t.PFence()
-	if pflag {
-		if apply() {
-			t.PWB(a)
-			t.PFence()
-		}
-	} else {
-		apply()
-	}
-}
+// The store primitives spell out the fence-apply-flush-fence sequence
+// directly (no apply-closure indirection on the hot path; see the note
+// in flit.go).
 
 // Store writes with flush+fence on p-stores.
 func (Izraelevitz) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
-	izStore(t, a, pflag, func() bool { t.Store(a, v); return true })
+	t.CheckCrash()
+	t.PFence()
+	t.Store(a, v)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
 }
 
 // CAS compare-and-swaps with flush+fence on successful p-CAS.
 func (Izraelevitz) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
-	var ok bool
-	izStore(t, a, pflag, func() bool { ok = t.CAS(a, old, new); return ok })
+	t.CheckCrash()
+	t.PFence()
+	ok := t.CAS(a, old, new)
+	if pflag && ok {
+		t.PWB(a)
+		t.PFence()
+	}
 	return ok
 }
 
 // FAA fetch-and-adds with flush+fence on p-FAA.
 func (Izraelevitz) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
-	var prev uint64
-	izStore(t, a, pflag, func() bool { prev = t.FAA(a, delta); return true })
+	t.CheckCrash()
+	t.PFence()
+	prev := t.FAA(a, delta)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
 	return prev
 }
 
 // Exchange swaps with flush+fence on p-exchange.
 func (Izraelevitz) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
-	var prev uint64
-	izStore(t, a, pflag, func() bool { prev = t.Exchange(a, v); return true })
+	t.CheckCrash()
+	t.PFence()
+	prev := t.Exchange(a, v)
+	if pflag {
+		t.PWB(a)
+		t.PFence()
+	}
 	return prev
 }
 

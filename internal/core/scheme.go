@@ -2,10 +2,32 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"flit/internal/pmem"
 )
+
+// CeilPow2 returns the smallest power of two >= n (and 1 for n < 1) —
+// the table-sizing rule shared by the flit-counter schemes, the durable
+// hash structures and the store's bucket layout.
+func CeilPow2(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Pow2Sizing returns CeilPow2(n) together with the right-shift that maps
+// a 64-bit hash onto [0, size) by its top bits (64 for size 1, where any
+// shift of a 64-bit value yields index 0).
+func Pow2Sizing(n int) (size int, shift uint) {
+	if n < 2 {
+		return 1, 64
+	}
+	l := bits.Len(uint(n - 1))
+	return 1 << l, 64 - uint(l)
+}
 
 // CounterScheme assigns a flit-counter to each memory location (§5.1 of
 // the paper). Counters live in volatile memory: their contents are
@@ -73,16 +95,8 @@ func NewHashTable(bytes int) *HashTable {
 	if bytes < 64 {
 		bytes = 64
 	}
-	entries := 1
-	for entries < bytes/8 {
-		entries <<= 1
-	}
-	h := &HashTable{counters: make([]uint64, entries), bytes: entries * 8}
-	h.shift = 64
-	for e := entries; e > 1; e >>= 1 {
-		h.shift--
-	}
-	return h
+	entries, shift := Pow2Sizing(bytes / 8)
+	return &HashTable{counters: make([]uint64, entries), bytes: entries * 8, shift: shift}
 }
 
 func (h *HashTable) slot(a pmem.Addr) *uint64 { return &h.counters[hashAddr(a, h.shift)] }
@@ -118,16 +132,8 @@ func NewPackedHashTable(bytes int) *PackedHashTable {
 	if bytes < 64 {
 		bytes = 64
 	}
-	n := 1
-	for n < bytes {
-		n <<= 1
-	}
-	h := &PackedHashTable{words: make([]uint64, n/8), bytes: n}
-	h.shift = 64
-	for e := n; e > 1; e >>= 1 {
-		h.shift--
-	}
-	return h
+	n, shift := Pow2Sizing(bytes)
+	return &PackedHashTable{words: make([]uint64, n/8), bytes: n, shift: shift}
 }
 
 func (h *PackedHashTable) locate(a pmem.Addr) (*uint64, uint) {

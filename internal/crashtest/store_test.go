@@ -19,6 +19,9 @@ func newCrashStoreMode(t *testing.T, policy string, mode dstruct.Mode) *store.St
 	t.Helper()
 	st, err := store.New(store.Options{
 		Shards: 8, ExpectedKeys: 1 << 12, Policy: policy, HTBytes: 1 << 14, Mode: mode,
+		// Crash rounds never read a latency number; the virtual clock
+		// keeps the modeled costs without burning their wall time.
+		VirtualClock: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -55,7 +55,9 @@ func Configs(memWords int, withLAP bool) []dstruct.Config {
 	for _, pol := range Policies(memWords, withLAP) {
 		for _, mode := range dstruct.Modes {
 			cfg := pmem.DefaultConfig(memWords)
-			cfg.PWBCost, cfg.PFenceCost, cfg.PFenceEntryCost = 0, 0, 0
+			// Correctness batteries never read a latency number: the
+			// virtual clock keeps the modeled costs at spin-free speed.
+			cfg.VirtualClock = true
 			h := pheap.New(pmem.New(cfg))
 			out = append(out, dstruct.Config{
 				Heap: h, Policy: pol, Mode: mode, RootSlot: 0, Stride: dstruct.StrideFor(pol),

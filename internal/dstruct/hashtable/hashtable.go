@@ -29,10 +29,7 @@ type Table struct {
 // New creates a table with the given bucket count (rounded up to a power
 // of two), anchored at cfg's root slot.
 func New(cfg dstruct.Config, buckets int) *Table {
-	b := 1
-	for b < buckets {
-		b <<= 1
-	}
+	b := core.CeilPow2(buckets)
 	t := cfg.Heap.Mem().RegisterThread()
 	ar := cfg.Heap.NewArena()
 	base := ar.Alloc(cfg.Words(1 + b))

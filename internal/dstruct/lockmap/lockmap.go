@@ -46,10 +46,7 @@ type Map struct {
 // New creates a map with the given bucket count (rounded to a power of
 // two) anchored at cfg's root slot.
 func New(cfg dstruct.Config, buckets int) *Map {
-	b := 1
-	for b < buckets {
-		b <<= 1
-	}
+	b := core.CeilPow2(buckets)
 	t := cfg.Heap.Mem().RegisterThread()
 	ar := cfg.Heap.NewArena()
 	pol := cfg.Policy

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,11 @@ type Result struct {
 	PFences   uint64
 	PWBsPerOp float64
 	Elapsed   time.Duration
+	// NsPerOp is wall-clock thread-nanoseconds per op (elapsed × threads
+	// / ops); AllocsPerOp is Go heap allocations per op over the measured
+	// window. Both average across repeats under RepeatRuns.
+	NsPerOp     float64
+	AllocsPerOp float64
 	// Throughput (ops/s) and PWBRate (pwbs/op) summarize the per-run
 	// samples across repeats; N == 1 for a single run.
 	Throughput stats.Summary
@@ -49,10 +55,17 @@ func (r Result) String() string {
 // reset at the start of the measured window.
 func RunWorkload(inst *Instance, w Workload) Result {
 	inst.Mem.ResetStats()
-	var stop atomic.Bool
 	var totalOps atomic.Uint64
 	var wg sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
+	// Workers watch the deadline themselves (once per small batch) rather
+	// than polling a stop flag set by a sleeping coordinator: with every P
+	// saturated by CPU-bound workers, the coordinator's timer wake-up can
+	// lag the nominal window by many milliseconds, and that overshoot —
+	// not the workload — used to dominate short cells' wall time.
+	deadline := start.Add(w.Duration)
 	for t := 0; t < w.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -65,8 +78,8 @@ func RunWorkload(inst *Instance, w Workload) Result {
 				zipf = rand.NewZipf(rng, w.ZipfS, 1, keyRange-1)
 			}
 			var ops uint64
-			for !stop.Load() {
-				// A small batch per stop-check keeps the flag off the
+			for !time.Now().After(deadline) {
+				// A small batch per deadline check keeps the clock off the
 				// per-op hot path.
 				for i := 0; i < 64; i++ {
 					var k uint64
@@ -90,10 +103,10 @@ func RunWorkload(inst *Instance, w Workload) Result {
 			totalOps.Add(ops)
 		}(t)
 	}
-	time.Sleep(w.Duration)
-	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	mstats := inst.Mem.TotalStats()
 	ops := totalOps.Load()
@@ -109,6 +122,8 @@ func RunWorkload(inst *Instance, w Workload) Result {
 	}
 	if ops > 0 {
 		res.PWBsPerOp = float64(mstats.PWBs) / float64(ops)
+		res.NsPerOp = float64(elapsed.Nanoseconds()) * float64(w.Threads) / float64(ops)
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(ops)
 	}
 	res.Throughput = stats.Of(res.OpsPerSec)
 	res.PWBRate = stats.Of(res.PWBsPerOp)
@@ -143,9 +158,13 @@ func RepeatRuns(n int, run func() Result) Result {
 		acc.PWBs += r.PWBs
 		acc.PFences += r.PFences
 		acc.Elapsed += r.Elapsed
+		acc.NsPerOp += r.NsPerOp
+		acc.AllocsPerOp += r.AllocsPerOp
 		ops = append(ops, r.OpsPerSec)
 		pwbs = append(pwbs, r.PWBsPerOp)
 	}
+	acc.NsPerOp /= float64(n)
+	acc.AllocsPerOp /= float64(n)
 	acc.Throughput = stats.Summarize(ops)
 	acc.PWBRate = stats.Summarize(pwbs)
 	acc.OpsPerSec = acc.Throughput.Mean

@@ -46,6 +46,10 @@ type Spec struct {
 	Buckets int
 	// Invalidate turns on clwb-invalidation modeling (ablation A).
 	Invalidate bool
+	// VirtualClock charges latency costs to per-thread virtual-time
+	// counters instead of spin loops (pmem.Config.VirtualClock) —
+	// for latency-blind runs like the CI smoke matrix.
+	VirtualClock bool
 	// Duration hint: sizes the skiplist leak budget for long runs.
 	Duration time.Duration
 }
@@ -138,6 +142,7 @@ func Build(s Spec) *Instance {
 	words := s.memWords(stride)
 	mcfg := pmem.DefaultConfig(words)
 	mcfg.InvalidateOnPWB = s.Invalidate
+	mcfg.VirtualClock = s.VirtualClock
 	mem := pmem.New(mcfg)
 	heap := pheap.New(mem)
 	pol := s.buildPolicy(words)

@@ -37,9 +37,12 @@ func (m *Memory) CrashImage(mode CrashMode, seed int64) []uint64 {
 			img[base+i] = atomic.LoadUint64(&m.words[base+i])
 		}
 	}
-	// (1) pending write-backs race the failure.
+	// (1) pending write-backs race the failure. The queue is coalesced —
+	// each distinct line appears once — so a line gets exactly one coin
+	// flip and persists atomically or not at all; it can never be
+	// materialized twice divergently.
 	for _, t := range m.Threads() {
-		for _, l := range t.pending {
+		for _, l := range t.wb.lines {
 			if rng.Intn(2) == 0 {
 				copyLine(l)
 			}

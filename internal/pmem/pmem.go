@@ -16,10 +16,15 @@
 //
 // Flush and fence latency is modeled with calibrated spin loops so that,
 // as on real hardware, a PWB costs an order of magnitude more than a load
-// and a PFence pays per pending write-back. An optional mode reproduces
-// the Cascade Lake clwb behaviour observed in the paper (§6.6): flushing a
-// line also invalidates it, charging a miss penalty to the line's next
-// access.
+// and a PFence pays per distinct pending write-back (per-thread queues
+// coalesce repeated flushes of one line, as cache coherence does). An
+// optional virtual-clock mode (Config.VirtualClock) charges the same
+// costs to a per-thread virtual-time counter instead of spinning, so
+// runs that only need the modeled-cost ordering — crash tests, CI smoke
+// matrices — skip the wall-clock burn entirely. Another optional mode
+// reproduces the Cascade Lake clwb behaviour observed in the paper
+// (§6.6): flushing a line also invalidates it, charging a miss penalty
+// to the line's next access.
 package pmem
 
 import (
@@ -99,6 +104,13 @@ type Config struct {
 	// PFenceEntryCost is the additional spin cost per pending write-back
 	// drained by a PFence.
 	PFenceEntryCost int
+	// VirtualClock, when true, accrues every latency cost to the issuing
+	// thread's virtual-time counter (Thread.VirtualTime) instead of a
+	// calibrated spin loop. Modeled-cost ordering is preserved — a run
+	// that would spin longer accumulates more virtual time — but no
+	// wall-clock CPU is burned, making latency-blind runs (crash tests,
+	// CI smoke matrices) several times faster.
+	VirtualClock bool
 	// InvalidateOnPWB, when true, models the Cascade Lake clwb behaviour:
 	// a PWB invalidates the line and the next access to it (by any thread)
 	// pays MissCost. The paper attributes flit-adjacent's extra flushes in
@@ -188,6 +200,18 @@ func (m *Memory) SetCosts(pwb, pfence, pfenceEntry, miss int) {
 	m.cfg.MissCost = miss
 }
 
+// MaxVirtualTime returns the largest virtual-time counter across all
+// registered threads — the modeled makespan of a virtual-clock run.
+func (m *Memory) MaxVirtualTime() uint64 {
+	var max uint64
+	for _, t := range m.Threads() {
+		if t.vtime > max {
+			max = t.vtime
+		}
+	}
+	return max
+}
+
 // Words returns the number of addressable words.
 func (m *Memory) Words() int { return len(m.words) }
 
@@ -235,6 +259,7 @@ func (m *Memory) TotalStats() Stats {
 func (m *Memory) ResetStats() {
 	for _, t := range m.Threads() {
 		t.Stats = Stats{}
+		t.vtime = 0
 	}
 }
 

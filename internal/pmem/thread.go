@@ -47,16 +47,42 @@ type Thread struct {
 	ID    int
 	Stats Stats
 
-	// pending holds lines flushed since the last fence. A fence copies
-	// their then-current volatile contents into the persistent shadow,
-	// matching hardware, where the write-back reads the coherent line at
-	// drain time, not at clwb time.
-	pending []Line
+	// wb holds the lines flushed since the last fence, coalesced so each
+	// distinct line is pending at most once (as cache coherence
+	// guarantees on hardware). A fence copies their then-current volatile
+	// contents into the persistent shadow, matching hardware, where the
+	// write-back reads the coherent line at drain time, not at clwb time.
+	wb wbQueue
+
+	// vtime accumulates modeled instruction latency when the memory runs
+	// in virtual-clock mode (Config.VirtualClock); see charge.
+	vtime uint64
 
 	// crashIn, when >= 0, counts down instrumented instructions and
 	// injects a crash when it reaches zero (deterministic crash points).
 	crashIn int64
 }
+
+// charge applies a modeled latency cost: a calibrated spin by default,
+// or — in virtual-clock mode — an addition to the thread's virtual-time
+// counter, which preserves the relative cost ordering of runs without
+// burning wall-clock CPU (crash tests and CI smoke runs never read a
+// latency number, only the modeled ordering).
+func (t *Thread) charge(n int) {
+	if n <= 0 {
+		return
+	}
+	if t.M.cfg.VirtualClock {
+		t.vtime += uint64(n)
+		return
+	}
+	spin(n)
+}
+
+// VirtualTime returns the latency the thread has accumulated in
+// virtual-clock mode (zero otherwise): the modeled time it would have
+// spent spinning.
+func (t *Thread) VirtualTime() uint64 { return t.vtime }
 
 // SetCrashAfter arranges for the thread to crash (panic ErrCrashed) after n
 // more CheckCrash calls. n < 0 disables the countdown.
@@ -89,7 +115,7 @@ func (t *Thread) touch(a Addr) {
 	l := LineOf(a)
 	if atomic.LoadUint32(&m.inval[l]) != 0 && atomic.SwapUint32(&m.inval[l], 0) != 0 {
 		t.Stats.Misses++
-		spin(m.cfg.MissCost)
+		t.charge(m.cfg.MissCost)
 	}
 }
 
@@ -137,26 +163,26 @@ func (t *Thread) Exchange(a Addr, v uint64) uint64 {
 func (t *Thread) PWB(a Addr) {
 	t.Stats.PWBs++
 	l := LineOf(a)
-	// Cheap adjacent-duplicate suppression: instrumented code frequently
-	// flushes the same line back-to-back (e.g. Plain policy traversals).
-	if n := len(t.pending); n == 0 || t.pending[n-1] != l {
-		t.pending = append(t.pending, l)
-	}
+	// Coalesce: a line already pending stays queued once, as the cache
+	// would keep a single dirty copy. The PWB count above still records
+	// every issued instruction.
+	t.wb.add(l)
 	m := t.M
 	if m.inval != nil {
 		atomic.StoreUint32(&m.inval[l], 1)
 	}
-	spin(m.cfg.PWBCost)
+	t.charge(m.cfg.PWBCost)
 }
 
-// PFence drains the thread's write-back queue: every pending line's
-// current volatile content is copied, word by word, into the persistent
-// shadow. After PFence returns, everything the thread flushed is durable.
+// PFence drains the thread's write-back queue: every distinct pending
+// line's current volatile content is copied, word by word, into the
+// persistent shadow — each line exactly once, however many PWBs targeted
+// it. After PFence returns, everything the thread flushed is durable.
 func (t *Thread) PFence() {
 	t.Stats.PFences++
 	m := t.M
-	n := len(t.pending)
-	for _, l := range t.pending {
+	n := len(t.wb.lines)
+	for _, l := range t.wb.lines {
 		// Serialize per-line write-backs, as coherence does on hardware:
 		// whichever drain runs second re-reads the volatile line, so the
 		// shadow can only move forward.
@@ -169,13 +195,14 @@ func (t *Thread) PFence() {
 		}
 		atomic.StoreUint32(&m.drainLock[l], 0)
 	}
-	t.pending = t.pending[:0]
+	t.wb.reset()
 	t.Stats.Drained += uint64(n)
-	spin(m.cfg.PFenceCost + n*m.cfg.PFenceEntryCost)
+	t.charge(m.cfg.PFenceCost + n*m.cfg.PFenceEntryCost)
 }
 
-// PendingLines returns a copy of the thread's un-fenced write-back queue
-// (test and crash-image helper).
+// PendingLines returns a copy of the thread's un-fenced write-back
+// queue: the distinct pending lines in first-enqueue order (test and
+// crash-image helper).
 func (t *Thread) PendingLines() []Line {
-	return append([]Line(nil), t.pending...)
+	return append([]Line(nil), t.wb.lines...)
 }

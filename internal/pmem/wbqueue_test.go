@@ -1,0 +1,235 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPWBCoalescesDuplicates: the write-back queue holds each distinct
+// line once, whether the duplicate flushes are adjacent or interleaved
+// with other lines, and PendingLines reports first-enqueue order.
+func TestPWBCoalescesDuplicates(t *testing.T) {
+	m := newMem(256)
+	th := m.RegisterThread()
+	th.PWB(8)   // line 1
+	th.PWB(64)  // line 8
+	th.PWB(9)   // line 1 again, non-adjacent in issue order
+	th.PWB(128) // line 16
+	th.PWB(64)  // line 8 again
+	got := th.PendingLines()
+	want := []Line{1, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("PendingLines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PendingLines = %v, want %v (first-enqueue order)", got, want)
+		}
+	}
+	if th.Stats.PWBs != 5 {
+		t.Fatalf("PWBs = %d, want 5 (coalescing must not hide the instruction count)", th.Stats.PWBs)
+	}
+}
+
+// TestFenceDrainsEachLineOnce: Drained counts distinct lines, not issued
+// PWBs, and the queue is reusable after the fence.
+func TestFenceDrainsEachLineOnce(t *testing.T) {
+	m := newMem(256)
+	th := m.RegisterThread()
+	for i := 0; i < 10; i++ {
+		th.Store(8, uint64(i))
+		th.PWB(8)
+		th.PWB(64)
+	}
+	th.PFence()
+	if th.Stats.Drained != 2 {
+		t.Fatalf("Drained = %d, want 2 (one per distinct line)", th.Stats.Drained)
+	}
+	if m.PersistedWord(8) != 9 || m.PersistedWord(64) != 0 {
+		t.Fatalf("persisted (%d,%d), want (9,0)", m.PersistedWord(8), m.PersistedWord(64))
+	}
+	// The epoch bump must actually free the slots: the same lines are
+	// enqueueable again in the next fence window.
+	th.PWB(8)
+	if got := len(th.PendingLines()); got != 1 {
+		t.Fatalf("re-enqueue after fence: pending = %d lines, want 1", got)
+	}
+	th.PFence()
+	if th.Stats.Drained != 3 {
+		t.Fatalf("Drained = %d, want 3", th.Stats.Drained)
+	}
+}
+
+// TestQueueGrowsPastHighWaterMark: enqueueing far more distinct lines
+// than the initial table holds keeps the dedup exact through the grows.
+func TestQueueGrowsPastHighWaterMark(t *testing.T) {
+	m := newMem(64 * 1024)
+	th := m.RegisterThread()
+	const lines = 1000
+	for pass := 0; pass < 2; pass++ { // second pass: every add a duplicate
+		for l := 0; l < lines; l++ {
+			th.PWB(Addr(l * WordsPerLine))
+		}
+		if got := len(th.PendingLines()); got != lines {
+			t.Fatalf("pass %d: pending = %d lines, want %d", pass, got, lines)
+		}
+	}
+	th.PFence()
+	if th.Stats.Drained != lines {
+		t.Fatalf("Drained = %d, want %d", th.Stats.Drained, lines)
+	}
+}
+
+// TestQueueEpochWrap: when the epoch counter wraps, the table must be
+// cleared — otherwise slots stamped in a previous life of the same epoch
+// value would falsely report lines as pending.
+func TestQueueEpochWrap(t *testing.T) {
+	m := newMem(256)
+	th := m.RegisterThread()
+	th.PWB(8)
+	th.PFence()
+	th.wb.epoch = ^uint32(0) // next reset wraps
+	th.PWB(8)
+	th.PFence()
+	th.PWB(8) // must still be enqueueable post-wrap
+	if got := len(th.PendingLines()); got != 1 {
+		t.Fatalf("post-wrap pending = %d lines, want 1", got)
+	}
+	if th.wb.epoch == 0 {
+		t.Fatal("epoch 0 is the free-slot stamp and must never be current")
+	}
+}
+
+// TestRandomSubsetLineAtomicOverCoalescedQueue: a line PWBed several
+// times with stores in between gets one coin flip per crash image — the
+// image shows either the fenced state or the crash-time volatile line,
+// whole-line atomically, never a mix of intermediate values.
+func TestRandomSubsetLineAtomicOverCoalescedQueue(t *testing.T) {
+	m := newMem(256)
+	th := m.RegisterThread()
+	th.Store(8, 1)
+	th.Store(9, 1)
+	th.PWB(8)
+	th.PFence() // fenced state: (1, 1)
+	th.Store(8, 2)
+	th.PWB(8)
+	th.Store(9, 2)
+	th.PWB(9) // same line, pending once
+	th.Store(8, 3)
+	th.Store(9, 3) // crash-time volatile state: (3, 3)
+	for seed := int64(0); seed < 64; seed++ {
+		img := m.CrashImage(RandomSubset, seed)
+		a, b := img[8], img[9]
+		if !(a == 1 && b == 1) && !(a == 3 && b == 3) {
+			t.Fatalf("seed %d: image (%d,%d) is neither the fenced (1,1) nor the volatile (3,3) line",
+				seed, a, b)
+		}
+	}
+	// Both outcomes must occur across seeds.
+	seen := map[uint64]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		seen[m.CrashImage(RandomSubset, seed)[8]] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("RandomSubset never varied the coalesced line's outcome: %v", seen)
+	}
+}
+
+// TestQuickQueueMatchesReferenceSet: random add/reset sequences against
+// a map-based reference model.
+func TestQuickQueueMatchesReferenceSet(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var q wbQueue
+		ref := make(map[Line]bool)
+		var order []Line
+		for _, op := range ops {
+			if op%17 == 0 {
+				q.reset()
+				ref = make(map[Line]bool)
+				order = order[:0]
+				continue
+			}
+			l := Line(op % 97)
+			fresh := q.add(l)
+			if fresh == ref[l] {
+				return false // add must report exactly "not seen this window"
+			}
+			if fresh {
+				ref[l] = true
+				order = append(order, l)
+			}
+		}
+		if len(q.lines) != len(order) {
+			return false
+		}
+		for i, l := range order {
+			if q.lines[i] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualClockAccrues: in virtual-clock mode the configured costs
+// accumulate on the issuing thread's counter instead of spinning.
+func TestVirtualClockAccrues(t *testing.T) {
+	cfg := DefaultConfig(256)
+	cfg.VirtualClock = true
+	m := New(cfg)
+	th := m.RegisterThread()
+	th.Store(8, 1)
+	th.PWB(8)
+	want := uint64(cfg.PWBCost)
+	if th.VirtualTime() != want {
+		t.Fatalf("after PWB, VirtualTime = %d, want %d", th.VirtualTime(), want)
+	}
+	th.PFence() // one pending line
+	want += uint64(cfg.PFenceCost + cfg.PFenceEntryCost)
+	if th.VirtualTime() != want {
+		t.Fatalf("after PFence, VirtualTime = %d, want %d", th.VirtualTime(), want)
+	}
+	th.PFence() // empty queue: base fence cost only
+	want += uint64(cfg.PFenceCost)
+	if th.VirtualTime() != want {
+		t.Fatalf("after empty PFence, VirtualTime = %d, want %d", th.VirtualTime(), want)
+	}
+	if m.MaxVirtualTime() != want {
+		t.Fatalf("MaxVirtualTime = %d, want %d", m.MaxVirtualTime(), want)
+	}
+	m.ResetStats()
+	if th.VirtualTime() != 0 {
+		t.Fatal("ResetStats must clear virtual time")
+	}
+}
+
+// TestVirtualClockPreservesDurability: latency accounting must not leak
+// into persistence semantics — fenced data is durable either way.
+func TestVirtualClockPreservesDurability(t *testing.T) {
+	cfg := DefaultConfig(256)
+	cfg.VirtualClock = true
+	m := New(cfg)
+	th := m.RegisterThread()
+	th.Store(8, 42)
+	th.PWB(8)
+	th.PFence()
+	if img := m.CrashImage(DropUnfenced, 1); img[8] != 42 {
+		t.Fatalf("virtual-clock fenced word = %d, want 42", img[8])
+	}
+	// Miss charging under InvalidateOnPWB accrues virtually too.
+	cfg2 := DefaultConfig(256)
+	cfg2.VirtualClock = true
+	cfg2.InvalidateOnPWB = true
+	m2 := New(cfg2)
+	th2 := m2.RegisterThread()
+	th2.Store(8, 1)
+	th2.PWB(8)
+	before := th2.VirtualTime()
+	th2.Load(8)
+	if th2.VirtualTime() != before+uint64(cfg2.MissCost) {
+		t.Fatalf("miss charged %d virtual units, want %d", th2.VirtualTime()-before, cfg2.MissCost)
+	}
+}

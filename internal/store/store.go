@@ -75,6 +75,12 @@ type Options struct {
 	MemWords int
 	// Invalidate models the invalidating clwb of Cascade Lake.
 	Invalidate bool
+	// VirtualClock charges latency costs to per-thread virtual-time
+	// counters instead of spin loops (see pmem.Config.VirtualClock):
+	// same modeled-cost ordering, no wall-clock burn. Crash tests and
+	// smoke matrices — anything that never reads a latency number — run
+	// several times faster under it.
+	VirtualClock bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,11 +98,7 @@ func (o Options) withDefaults() Options {
 	}
 	// hashtable.New rounds bucket counts up to a power of two; round here
 	// so the superblock, Opts() and reports describe the actual layout.
-	b := 1
-	for b < o.Buckets {
-		b <<= 1
-	}
-	o.Buckets = b
+	o.Buckets = core.CeilPow2(o.Buckets)
 	if o.Policy == "" {
 		o.Policy = core.PolicyHT
 	}
@@ -140,6 +142,7 @@ func New(opts Options) (*Store, error) {
 	}
 	mcfg := pmem.DefaultConfig(words)
 	mcfg.InvalidateOnPWB = o.Invalidate
+	mcfg.VirtualClock = o.VirtualClock
 	mem := pmem.New(mcfg)
 	pol, err := core.NewPolicyByName(o.Policy, mem.Words(), o.HTBytes)
 	if err != nil {
@@ -216,7 +219,13 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // distinct strings collide with probability ~n²/2^49 — negligible at any
 // workload size the simulation can hold — and the store treats the hash
 // as the key, as fixed-width KV engines over hashed keyspaces do.
-func HashKey(key string) uint64 {
+func HashKey(key string) uint64 { return hashKey(key) }
+
+// HashKeyBytes is HashKey for a byte-slice key: identical hash, no
+// string conversion, so hot op loops can reuse one key buffer.
+func HashKeyBytes(key []byte) uint64 { return hashKey(key) }
+
+func hashKey[K string | []byte](key K) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -277,6 +286,36 @@ func (s *Session) Delete(key string) bool {
 // Contains reports whether key is present.
 func (s *Session) Contains(key string) bool {
 	h := HashKey(key)
+	return s.shards[s.st.shardOf(h)].Contains(h)
+}
+
+// GetBytes, PutBytes, DeleteBytes and ContainsBytes are the byte-slice
+// spellings of the session operations: same hashed keyspace
+// (HashKeyBytes ≡ HashKey on equal bytes), but callers can reuse one
+// key buffer across operations, keeping the op loop allocation-free.
+
+// GetBytes returns the value stored under key, if present.
+func (s *Session) GetBytes(key []byte) (uint64, bool) {
+	h := HashKeyBytes(key)
+	return s.shards[s.st.shardOf(h)].Get(h)
+}
+
+// PutBytes stores key→val (masked to ValueMask), reporting whether the
+// key was newly inserted.
+func (s *Session) PutBytes(key []byte, val uint64) bool {
+	h := HashKeyBytes(key)
+	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+}
+
+// DeleteBytes removes key, reporting whether it was present.
+func (s *Session) DeleteBytes(key []byte) bool {
+	h := HashKeyBytes(key)
+	return s.shards[s.st.shardOf(h)].Delete(h)
+}
+
+// ContainsBytes reports whether key is present.
+func (s *Session) ContainsBytes(key []byte) bool {
+	h := HashKeyBytes(key)
 	return s.shards[s.st.shardOf(h)].Contains(h)
 }
 

@@ -44,6 +44,37 @@ func TestHashKeyStaysInWindow(t *testing.T) {
 	}
 }
 
+func TestHashKeyBytesMatchesString(t *testing.T) {
+	for _, k := range []string{"", "a", "alpha", "user0000000000000042", "key-9999"} {
+		if HashKeyBytes([]byte(k)) != HashKey(k) {
+			t.Fatalf("HashKeyBytes(%q) != HashKey(%q)", k, k)
+		}
+	}
+}
+
+// TestByteSessionAPIMatchesString: the byte-key session operations hit
+// the same hashed keyspace as the string ones.
+func TestByteSessionAPIMatchesString(t *testing.T) {
+	st := mustNew(t, Options{Shards: 4, ExpectedKeys: 1 << 10})
+	sess := st.NewSession()
+	if !sess.PutBytes([]byte("k1"), 7) {
+		t.Fatal("PutBytes of a fresh key reported overwrite")
+	}
+	if v, ok := sess.Get("k1"); !ok || v != 7 {
+		t.Fatalf("Get after PutBytes = (%d,%v), want (7,true)", v, ok)
+	}
+	sess.Put("k2", 9)
+	if v, ok := sess.GetBytes([]byte("k2")); !ok || v != 9 {
+		t.Fatalf("GetBytes after Put = (%d,%v), want (9,true)", v, ok)
+	}
+	if !sess.ContainsBytes([]byte("k1")) || sess.ContainsBytes([]byte("nope")) {
+		t.Fatal("ContainsBytes disagrees with contents")
+	}
+	if !sess.DeleteBytes([]byte("k1")) || sess.Contains("k1") {
+		t.Fatal("DeleteBytes did not remove the key")
+	}
+}
+
 func TestSequentialAgainstModel(t *testing.T) {
 	for _, policy := range []string{core.PolicyHT, core.PolicyAdjacent, core.PolicyPlain, core.PolicyLAP} {
 		for _, shards := range []int{1, 4, 8} {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,14 @@ type Result struct {
 	PWBs      uint64  `json:"pwbs"`
 	PFences   uint64  `json:"pfences"`
 	PWBsPerOp float64 `json:"pwbs_per_op"`
+
+	// NsPerOp is wall-clock thread-nanoseconds per operation
+	// (elapsed × threads / ops — the inverse of per-thread throughput).
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// AllocsPerOp is Go heap allocations per operation across the
+	// measured window (runtime mallocs delta / ops) — the runner's own
+	// overhead, which the zero-allocation op loop holds at ≈0.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Load bulk-inserts key indices [0, records) through threads parallel
@@ -64,8 +73,10 @@ func Load(st *store.Store, records uint64, threads int) (time.Duration, float64)
 		go func(t int) {
 			defer wg.Done()
 			sess := st.NewSession()
+			keyBuf := make([]byte, 0, len(KeyPrefix)+20)
 			for i := uint64(t); i < records; i += uint64(threads) {
-				sess.Put(Key(i), i)
+				keyBuf = AppendKey(keyBuf[:0], i)
+				sess.PutBytes(keyBuf, i)
 			}
 		}(t)
 	}
@@ -106,14 +117,20 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 	}
 
 	st.Mem().ResetStats()
-	var stop atomic.Bool
 	var wg sync.WaitGroup
 	hists := make([]*Hist, sp.Threads)
 	var kindCounts [numKinds][]uint64
 	for k := range kindCounts {
 		kindCounts[k] = make([]uint64, sp.Threads)
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
+	// Workers watch the deadline themselves, from the per-op timestamp
+	// they already take for the latency histogram — no stop flag, no
+	// sleeping coordinator whose timer wake-up lags when the workers
+	// saturate every P (see harness.RunWorkload).
+	deadline := start.Add(sp.Duration)
 	for t := 0; t < sp.Threads; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -122,34 +139,47 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 			g := gens[t]
 			h := NewHist()
 			hists[t] = h
-			for !stop.Load() {
+			// The op loop is allocation-free: keys render into one reused
+			// buffer (AppendKey + the byte-key session API), and latency is
+			// taken from one clock reading per op — consecutive timestamps
+			// delimit each operation, so an op's recorded latency includes
+			// the (tiny) generator step that precedes it rather than paying
+			// a second time.Now call to exclude it.
+			keyBuf := make([]byte, 0, len(KeyPrefix)+20)
+			key := func(i uint64) []byte {
+				keyBuf = AppendKey(keyBuf[:0], i)
+				return keyBuf
+			}
+			prev := time.Now()
+			for !prev.After(deadline) {
 				op := g.Next()
-				t0 := time.Now()
 				switch op.Kind {
 				case Read:
-					sess.Get(Key(op.Key))
+					sess.GetBytes(key(op.Key))
 				case Update:
-					sess.Put(Key(op.Key), op.Key^uint64(t))
+					sess.PutBytes(key(op.Key), op.Key^uint64(t))
 				case Insert:
-					sess.Put(Key(op.Key), op.Key)
+					sess.PutBytes(key(op.Key), op.Key)
 				case ReadModifyWrite:
-					v, _ := sess.Get(Key(op.Key))
-					sess.Put(Key(op.Key), v+1)
+					v, _ := sess.GetBytes(key(op.Key))
+					sess.PutBytes(key(op.Key), v+1)
 				case Scan:
 					n := limit.Load()
 					for j := uint64(0); j < uint64(op.ScanLen); j++ {
-						sess.Get(Key((op.Key + j) % n))
+						sess.GetBytes(key((op.Key + j) % n))
 					}
 				}
-				h.Record(time.Since(t0))
+				now := time.Now()
+				h.Record(now.Sub(prev))
+				prev = now
 				kindCounts[op.Kind][t]++
 			}
 		}(t)
 	}
-	time.Sleep(sp.Duration)
-	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	all := NewHist()
 	for _, h := range hists {
@@ -180,6 +210,11 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 	}
 	if res.Ops > 0 {
 		res.PWBsPerOp = float64(res.PWBs) / float64(res.Ops)
+		res.NsPerOp = float64(elapsed.Nanoseconds()) * float64(sp.Threads) / float64(res.Ops)
+		// Mallocs counts every heap allocation process-wide; the per-run
+		// fixed cost (sessions, histograms, generators warm-up) amortizes
+		// to ~0 over the ops of any real window.
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Ops)
 	}
 	return res, nil
 }

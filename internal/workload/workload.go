@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -88,9 +89,35 @@ const (
 // 0.99 but Go's rand.Zipf requires s > 1; 1.1 gives a comparably hot head.
 const DefaultZipfS = 1.1
 
+// KeyPrefix starts every canonical workload key; the index follows as a
+// zero-padded 16-digit decimal (YCSB's "user<id>" convention).
+const KeyPrefix = "user"
+
+// keyDigits is the fixed index width. 10^16 > 2^48, so every index the
+// 48-bit keyspace can hold fits without widening.
+const keyDigits = 16
+
+// AppendKey appends key index i's canonical form to dst and returns the
+// extended slice — the allocation-free spelling of Key for hot op loops,
+// which reuse one buffer per worker (strconv-style fixed-width append;
+// fmt.Sprintf was the workload runner's dominant allocation).
+func AppendKey(dst []byte, i uint64) []byte {
+	if i >= 1e16 {
+		// Wider than the fixed field (only reachable above the 48-bit
+		// keyspace): fall back to plain decimal, as %016d would.
+		return strconv.AppendUint(append(dst, KeyPrefix...), i, 10)
+	}
+	var buf [keyDigits]byte
+	for j := keyDigits - 1; j >= 0; j-- {
+		buf[j] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(append(dst, KeyPrefix...), buf[:]...)
+}
+
 // Key renders key index i as its canonical string form, the store-facing
 // key the generator hands to sessions.
-func Key(i uint64) string { return fmt.Sprintf("user%016d", i) }
+func Key(i uint64) string { return string(AppendKey(make([]byte, 0, len(KeyPrefix)+20), i)) }
 
 // Op is one generated operation over key indices.
 type Op struct {
