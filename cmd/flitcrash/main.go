@@ -1,23 +1,36 @@
-// Command flitcrash runs randomized crash-recovery validation: workers
-// hammer a durable structure, crash at seeded instruction counts, the
-// persistent image is recovered, and the surviving state is checked for
-// durable linearizability. A non-zero exit means a violation was found
-// (and printed with the full per-key history).
+// Command flitcrash runs crash-recovery validation in two modes.
+//
+// The default mode is randomized: workers hammer a durable structure,
+// crash at seeded instruction counts, the persistent image is recovered,
+// and the surviving state is checked for durable linearizability.
+//
+// With -dlcheck it runs the systematic enumerator (internal/dlcheck)
+// instead: one recorded execution per round is checked at every
+// PWB/PFence boundary (bounded by -dlbudget) across the structures, the
+// durable queue and the sharded store. On a violation the minimal repro
+// trace (crash boundary + truncated schedule + recovered-state diff) is
+// printed and, with -dltrace, written to a file for CI artifacts.
+//
+// A non-zero exit means a violation was found.
 //
 // Usage:
 //
 //	flitcrash -rounds 200
 //	flitcrash -ds bst -mode manual -policy flit-adjacent -rounds 50 -v
+//	flitcrash -dlcheck -rounds 2 -dlbudget 64 -dltrace dlcheck-trace.txt
+//	flitcrash -dlcheck -ds store -dlbudget 0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"flit/internal/core"
 	"flit/internal/crashtest"
+	"flit/internal/dlcheck"
 	"flit/internal/dstruct"
 	"flit/internal/pheap"
 	"flit/internal/pmem"
@@ -55,12 +68,19 @@ func modeByName(name string) dstruct.Mode {
 
 func main() {
 	rounds := flag.Int("rounds", 60, "seeded crash rounds per combination")
-	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst)")
+	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst|lockmap; with -dlcheck also queue|store)")
 	modeFilter := flag.String("mode", "", "restrict to one durability mode (automatic|nvtraverse|manual)")
 	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|izraelevitz|link-and-persist)")
 	seed0 := flag.Int64("seed", 1, "first seed")
 	verbose := flag.Bool("v", false, "print every round")
+	dl := flag.Bool("dlcheck", false, "systematic mode: check every PWB/PFence boundary of recorded executions")
+	dlBudget := flag.Int("dlbudget", 512, "crash points checked per dlcheck run (0 = every boundary)")
+	dlTrace := flag.String("dltrace", "", "write violation repro traces to this file (dlcheck mode)")
 	flag.Parse()
+
+	if *dl {
+		os.Exit(runDLCheck(*rounds, *dsFilter, *modeFilter, *polFilter, *seed0, *dlBudget, *dlTrace, *verbose))
+	}
 
 	const words = 1 << 20
 	crashModes := []pmem.CrashMode{pmem.DropUnfenced, pmem.RandomSubset, pmem.PersistAll}
@@ -76,6 +96,9 @@ func main() {
 			polNames = append(polNames, "link-and-persist")
 		}
 		if *polFilter != "" {
+			if *polFilter == core.PolicyLAP && !target.WithLAP {
+				continue // inapplicable (general stores, not CAS-only)
+			}
 			polNames = []string{*polFilter}
 		}
 		modes := dstruct.Modes
@@ -109,8 +132,133 @@ func main() {
 			}
 		}
 	}
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "flitcrash: no rounds matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst; queue|store need -dlcheck; link-and-persist applies only to list|hashtable|skiplist|lockmap)\n",
+			*dsFilter, *modeFilter, *polFilter)
+		os.Exit(2)
+	}
 	fmt.Printf("flitcrash: %d rounds, %d violations, %v\n", total, failures, time.Since(start).Round(time.Millisecond))
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runDLCheck drives the systematic battery: structures × modes ×
+// policies, the durable queue, and the sharded store, each recorded
+// execution checked at every (budgeted) persist boundary.
+func runDLCheck(rounds int, dsFilter, modeFilter, polFilter string, seed0 int64, budget int, tracePath string, verbose bool) int {
+	start := time.Now()
+	total, points, records := 0, 0, 0
+	var violations []string
+
+	report := func(name string, rep *dlcheck.Report, seed int64) {
+		total++
+		points += rep.Points
+		records += rep.Records
+		if rep.Violation != nil {
+			violations = append(violations, rep.Violation.Error())
+			fmt.Printf("VIOLATION %s seed=%d\n%v\n", name, seed, rep.Violation)
+		} else if verbose {
+			fmt.Printf("ok %s seed=%d records=%d fences=%d points=%d ops=%d\n",
+				name, seed, rep.Records, rep.Fences, rep.Points, rep.Ops)
+		}
+	}
+	modes := dstruct.Modes
+	if modeFilter != "" {
+		modes = []dstruct.Mode{modeByName(modeFilter)}
+	}
+	// Validate the policy filter once, up front: policyByName rejects
+	// unknown names and the by-design-failing no-persist baseline, so the
+	// store path (which constructs policies via store.New, not
+	// policyByName) can't report a usage error as a violation.
+	if polFilter != "" {
+		policyByName(polFilter, dlcheck.Words)
+	}
+	polNamesFor := func(withLAP bool) []string {
+		if polFilter != "" {
+			if polFilter == core.PolicyLAP && !withLAP {
+				return nil // inapplicable to this target; skip, don't panic
+			}
+			return []string{polFilter}
+		}
+		names := []string{core.PolicyHT, core.PolicyAdjacent, core.PolicyPlain, core.PolicyIz}
+		if withLAP {
+			names = append(names, core.PolicyLAP)
+		}
+		return names
+	}
+
+	for _, target := range crashtest.Targets() {
+		if dsFilter != "" && target.Name != dsFilter {
+			continue
+		}
+		for _, mode := range modes {
+			for _, polName := range polNamesFor(target.WithLAP) {
+				for r := 0; r < rounds; r++ {
+					seed := seed0 + int64(r)
+					opts := dlcheck.DefaultOptions(seed)
+					opts.Budget = budget
+					rep := dlcheck.RunSet(dlcheck.NewConfig(policyByName(polName, dlcheck.Words), mode), target.DL(), opts)
+					report(fmt.Sprintf("%s/%s/%s", target.Name, mode, polName), rep, seed)
+				}
+			}
+		}
+	}
+
+	// The queue passes explicit pflags (manual durability); honor a -mode
+	// filter by treating its runs as manual-only. Link-and-persist
+	// applies (CAS-only stores).
+	if (dsFilter == "" || dsFilter == "queue") && (modeFilter == "" || modeByName(modeFilter) == dstruct.Manual) {
+		for _, polName := range polNamesFor(true) {
+			for r := 0; r < rounds; r++ {
+				seed := seed0 + int64(r)
+				opts := dlcheck.DefaultOptions(seed)
+				opts.OpsPerWorker = 8 // whole-history FIFO search
+				opts.Budget = budget
+				rep := crashtest.RunQueueDL(dlcheck.NewConfig(policyByName(polName, dlcheck.Words), dstruct.Manual), opts)
+				report("queue/"+polName, rep, seed)
+			}
+		}
+	}
+
+	if dsFilter == "" || dsFilter == "store" {
+		for _, mode := range modes {
+			// Link-and-persist applies at service granularity too (the
+			// randomized store battery covers it); keep it enumerated so
+			// the failed-p-CAS dirty-flush path is checked here as well.
+			for _, polName := range polNamesFor(true) {
+				for r := 0; r < rounds; r++ {
+					seed := seed0 + int64(r)
+					st, err := crashtest.NewDLStore(polName, mode)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "flitcrash: %v\n", err)
+						return 2
+					}
+					opts := dlcheck.DefaultOptions(seed)
+					opts.Budget = budget
+					rep := crashtest.RunStoreDL(st, opts)
+					report(fmt.Sprintf("store/%s/%s", mode, polName), rep, seed)
+				}
+			}
+		}
+	}
+
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "flitcrash: no dlcheck runs matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst|queue|store; the queue is manual-only, link-and-persist applies only to list|hashtable|skiplist|lockmap|queue)\n",
+			dsFilter, modeFilter, polFilter)
+		return 2
+	}
+	fmt.Printf("flitcrash -dlcheck: %d runs, %d persist records, %d crash points checked, %d violations, %v\n",
+		total, records, points, len(violations), time.Since(start).Round(time.Millisecond))
+	if len(violations) > 0 {
+		if tracePath != "" {
+			if err := os.WriteFile(tracePath, []byte(strings.Join(violations, "\n\n")), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "flitcrash: writing %s: %v\n", tracePath, err)
+			} else {
+				fmt.Printf("flitcrash -dlcheck: repro traces written to %s\n", tracePath)
+			}
+		}
+		return 1
+	}
+	return 0
 }

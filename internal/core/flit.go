@@ -73,10 +73,19 @@ func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) boo
 		f.persistTagged(t, a)
 		return true
 	}
-	// On a failed CAS nothing was written: skip the flush, untag directly.
-	// Readers that raced the tag at worst flushed the old value (harmless,
-	// per the paper's safety argument for shared counters).
+	// On a failed CAS nothing was written, so the store-side flush is
+	// skipped and the location untagged directly. But the failure
+	// *observed* the current value, and the thread may act on that
+	// observation (a queue skipping a taken node, a helper seeing a mark),
+	// so a failed p-CAS carries a p-load's obligation: flush if another
+	// p-store is still pending, deferring the fence to the next shared
+	// store or operation completion, exactly as Load does. Without this,
+	// an operation can complete depending on a value a crash then loses —
+	// the hole the dlcheck enumerator catches on the durable queue.
 	f.C.Dec(t, a)
+	if f.C.Tagged(t, a) {
+		t.PWB(a)
+	}
 	return false
 }
 

@@ -42,12 +42,15 @@ func (Izraelevitz) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	}
 }
 
-// CAS compare-and-swaps with flush+fence on successful p-CAS.
+// CAS compare-and-swaps with flush+fence on every p-CAS: a successful one
+// persists the written value; a failed one observed the current value and
+// pays a p-load's immediate flush+fence, in keeping with the
+// construction's uniform treatment of acquire reads.
 func (Izraelevitz) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
 	t.CheckCrash()
 	t.PFence()
 	ok := t.CAS(a, old, new)
-	if pflag && ok {
+	if pflag {
 		t.PWB(a)
 		t.PFence()
 	}

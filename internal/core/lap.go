@@ -56,6 +56,13 @@ func (LinkAndPersist) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bo
 	for {
 		raw := t.Load(a)
 		if raw&^DirtyBit != old {
+			// The failure observed the current value; if that value is
+			// still dirty (un-persisted), a failed p-CAS inherits a
+			// p-load's obligation and flushes it, fence deferred to the
+			// next store or completion — same as Load's dirty path.
+			if pflag && raw&DirtyBit != 0 {
+				t.PWB(a)
+			}
 			return false
 		}
 		if raw&DirtyBit != 0 {

@@ -41,14 +41,19 @@ func (Plain) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	}
 }
 
-// CAS compare-and-swaps with flush+fence on successful p-CAS.
+// CAS compare-and-swaps with flush+fence on successful p-CAS. A failed
+// p-CAS observed the current value and may act on it, so it pays the same
+// unconditional flush as a p-load (fence deferred to the next store or
+// completion).
 func (Plain) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
 	t.CheckCrash()
 	t.PFence()
 	ok := t.CAS(a, old, new)
-	if pflag && ok {
+	if pflag {
 		t.PWB(a)
-		t.PFence()
+		if ok {
+			t.PFence()
+		}
 	}
 	return ok
 }

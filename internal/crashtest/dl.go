@@ -1,0 +1,110 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"flit/internal/dlcheck"
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/queue"
+	"flit/internal/pheap"
+	"flit/internal/pmem"
+	"flit/internal/store"
+)
+
+// This file wires the randomized crash harness's target registry into the
+// systematic enumerator (internal/dlcheck): the same structures, the same
+// recovery paths, but every PWB/PFence boundary of a recorded execution
+// checked instead of one random image per round.
+
+// DL adapts a crash-test target for dlcheck.RunSet.
+func (t Target) DL() dlcheck.Target {
+	return dlcheck.Target{
+		Name:    t.Name,
+		New:     func(cfg dstruct.Config) dlcheck.Instance { return dlcheck.Instance(t.New(cfg)) },
+		Recover: func(cfg dstruct.Config) dlcheck.Instance { return dlcheck.Instance(t.Recover(cfg)) },
+	}
+}
+
+// RunQueueDL runs the systematic checker against the durable FIFO queue.
+func RunQueueDL(cfg dstruct.Config, opts dlcheck.Options) *dlcheck.Report {
+	q := queue.New(cfg)
+	return dlcheck.RunQueue(dlcheck.QueueHarness{
+		Name:       "queue",
+		Mem:        cfg.Heap.Mem(),
+		Policy:     cfg.Policy,
+		NewSession: func() dlcheck.QueueSession { return q.NewThread() },
+		Recover: func(img []uint64) ([]uint64, error) {
+			cfg2 := cfg
+			cfg2.Heap = pheap.Recover(pmem.NewFromImage(img, cfg.Heap.Mem().Config()), cfg.Heap.Watermark())
+			return queue.Recover(cfg2).Snapshot(), nil
+		},
+	}, opts)
+}
+
+// NewDLStore builds the store shape the systematic battery enumerates:
+// few shards and a small memory (every crash boundary copies the image)
+// on the virtual clock. The single source of truth for the flitcrash
+// CLI, this package's battery tests and dlcheck's mutation self-tests —
+// the service analogue of dlcheck.NewConfig.
+func NewDLStore(policy string, mode dstruct.Mode) (*store.Store, error) {
+	return store.New(store.Options{
+		Shards: 4, ExpectedKeys: 1 << 8, Buckets: 16,
+		Policy: policy, HTBytes: 1 << 14, Mode: mode,
+		MemWords: 1 << 17, VirtualClock: true,
+	})
+}
+
+// dlStoreSession maps the enumerator's uint64 key space onto store string
+// keys, giving the whole-store service set semantics the engine records
+// (Put ≡ Insert: true iff newly inserted).
+type dlStoreSession struct {
+	sess *store.Session
+}
+
+func dlStoreKey(k uint64) string { return fmt.Sprintf("dlkey-%d", k) }
+
+func (s dlStoreSession) Insert(k, v uint64) bool { return s.sess.Put(dlStoreKey(k), v) }
+func (s dlStoreSession) Delete(k uint64) bool    { return s.sess.Delete(dlStoreKey(k)) }
+func (s dlStoreSession) Contains(k uint64) bool  { return s.sess.Contains(dlStoreKey(k)) }
+
+// RunStoreDL runs the systematic checker against a whole store: sessions
+// record service-level histories, and every (budgeted) crash boundary is
+// recovered with the store's superblock probe and shard-parallel rebuild
+// before checking. st must be freshly created (no unrecorded keys): any
+// recovered key outside the checker's namespace is reported as a
+// violation, which is exactly the "no operation absent from the history
+// may appear" half of the durable rule.
+func RunStoreDL(st *store.Store, opts dlcheck.Options) *dlcheck.Report {
+	opts = opts.Normalized()
+	keyspace := opts.KeyRange
+	if opts.Prefill > keyspace {
+		keyspace = opts.Prefill
+	}
+	// Hash → engine-key translation for recovered snapshots.
+	back := make(map[uint64]uint64, keyspace)
+	for k := 0; k < keyspace; k++ {
+		back[store.HashKey(dlStoreKey(uint64(k)))] = uint64(k)
+	}
+	return dlcheck.Run(dlcheck.Harness{
+		Name:       "store",
+		Mem:        st.Mem(),
+		Policy:     st.Policy(),
+		NewSession: func() dstruct.SetThread { return dlStoreSession{st.NewSession()} },
+		Recover: func(img []uint64) (map[uint64]bool, error) {
+			mem2 := pmem.NewFromImage(img, st.Mem().Config())
+			st2, _, err := store.Recover(mem2, st.Heap().Watermark(), st.Opts())
+			if err != nil {
+				return nil, err
+			}
+			final := make(map[uint64]bool)
+			for h := range st2.Snapshot() {
+				k, ok := back[h]
+				if !ok {
+					return nil, fmt.Errorf("recovered key hash %#x is outside the checker's namespace (phantom key)", h)
+				}
+				final[k] = true
+			}
+			return final, nil
+		},
+	}, opts)
+}

@@ -6,6 +6,7 @@ import (
 
 	"flit/internal/core"
 	"flit/internal/dstruct"
+	"flit/internal/pheap"
 	"flit/internal/pmem"
 	"flit/internal/store"
 	"flit/internal/workload"
@@ -127,6 +128,123 @@ func TestStoreRepeatedCrashCycles(t *testing.T) {
 		sess := st.NewSession()
 		for i := 0; i < 50; i++ {
 			sess.Put(fmt.Sprintf("round%d-%d", round, i), uint64(i))
+		}
+	}
+}
+
+// --- Recovery edge cases -------------------------------------------------
+//
+// The paths below were previously untested: a crash landing *inside*
+// store.New's superblock persist sequence, and a crash landing during
+// recovery itself (before the rebuilt store has fenced anything new).
+
+// TestStoreRecoverySuperblockEdges enumerates the states a crash during
+// the superblock persist can leave and requires a clean error — never a
+// panic or a fabricated store — from recovery.
+func TestStoreRecoverySuperblockEdges(t *testing.T) {
+	mkMem := func() (*pmem.Memory, *pmem.Thread) {
+		mc := pmem.DefaultConfig(1 << 14)
+		mc.VirtualClock = true
+		mem := pmem.New(mc)
+		return mem, mem.RegisterThread()
+	}
+	recover_ := func(mem *pmem.Memory) error {
+		_, _, err := store.Recover(mem, 0, store.Options{Policy: core.PolicyHT})
+		return err
+	}
+
+	// (a) Crash before the root pointer persisted: empty memory.
+	mem, _ := mkMem()
+	if err := recover_(mem); err == nil {
+		t.Fatal("recovery fabricated a store from empty memory")
+	}
+
+	// (b) Root persisted but pointing at an unpersisted superblock (the
+	// magic word never reached the shadow). writeSuperblock fences the
+	// contents before the root, so this state needs an adversarial image —
+	// exactly what DropUnfenced gives when only the root store is fenced.
+	mem, th := mkMem()
+	heap := pheap.NewWithRoots(mem, 5)
+	sb := pmem.Addr(1 << 10)
+	th.Store(heap.Root(0), uint64(sb)) // root → sb, but sb's magic stays 0
+	th.PWB(heap.Root(0))
+	th.PFence()
+	img := mem.CrashImage(pmem.DropUnfenced, 0)
+	if err := recover_(pmem.NewFromImage(img, mem.Config())); err == nil {
+		t.Fatal("recovery accepted a superblock whose magic never persisted")
+	}
+
+	// (c) Persisted superblock with a corrupt shard count.
+	mem, th = mkMem()
+	heap = pheap.NewWithRoots(mem, 5)
+	for i, v := range []uint64{store.Magic, store.MaxShards + 5, 16} {
+		th.Store(sb+pmem.Addr(i), v)
+		th.PWB(sb + pmem.Addr(i))
+	}
+	th.PFence()
+	th.Store(heap.Root(0), uint64(sb))
+	th.PWB(heap.Root(0))
+	th.PFence()
+	if err := recover_(mem); err == nil {
+		t.Fatal("recovery accepted an out-of-range shard count")
+	}
+}
+
+// TestStoreRecoveryIdempotentAndCrashDuringRecovery: (1) two independent
+// recoveries from one torn image agree — recovery must not depend on its
+// own side effects; (2) a crash immediately after (equivalently: at any
+// point during) recovery, dropping everything recovery left unfenced,
+// recovers to the same contents again.
+func TestStoreRecoveryIdempotentAndCrashDuringRecovery(t *testing.T) {
+	st := newCrashStore(t, core.PolicyHT)
+	workload.Load(st, 200, 2)
+	// Interrupt a session mid-stream so the image is genuinely torn.
+	sess := st.NewSession()
+	sess.Thread().SetCrashAfter(700)
+	pmem.RunToCrash(func() {
+		for i := 0; ; i++ {
+			key := workload.Key(uint64(i % 300))
+			if i%3 == 0 {
+				sess.Delete(key)
+			} else {
+				sess.Put(key, uint64(i))
+			}
+		}
+	})
+	wm := st.Heap().Watermark()
+	img := st.Mem().CrashImage(pmem.RandomSubset, 42)
+
+	recoverFrom := func(img []uint64) (*store.Store, map[uint64]uint64) {
+		t.Helper()
+		mem := pmem.NewFromImage(img, st.Mem().Config())
+		st2, _, err := store.Recover(mem, wm, st.Opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st2, st2.Snapshot()
+	}
+
+	st1, snap1 := recoverFrom(img)
+	_, snap2 := recoverFrom(img)
+	if len(snap1) != len(snap2) {
+		t.Fatalf("independent recoveries disagree: %d vs %d keys", len(snap1), len(snap2))
+	}
+	for k, v := range snap1 {
+		if snap2[k] != v {
+			t.Fatalf("independent recoveries disagree on key %#x: %d vs %d", k, v, snap2[k])
+		}
+	}
+
+	// Crash again before the recovered store persists anything new:
+	// everything recovery wrote but never fenced is dropped.
+	img2 := st1.Mem().CrashImage(pmem.DropUnfenced, 0)
+	_, snap3 := recoverFrom(img2)
+	if len(snap3) != len(snap1) {
+		t.Fatalf("crash during recovery lost keys: %d vs %d", len(snap3), len(snap1))
+	}
+	for k, v := range snap1 {
+		if snap3[k] != v {
+			t.Fatalf("crash during recovery corrupted key %#x: %d vs %d", k, v, snap3[k])
 		}
 	}
 }

@@ -1,0 +1,33 @@
+package dlcheck
+
+import "testing"
+
+func TestCrashPointsBudget(t *testing.T) {
+	// Unbudgeted: every boundary 0..records.
+	pts := crashPoints(5, 0)
+	if len(pts) != 6 || pts[0] != 0 || pts[5] != 5 {
+		t.Fatalf("unbudgeted points wrong: %v", pts)
+	}
+	// Budget larger than the boundary count: also everything.
+	if got := crashPoints(3, 100); len(got) != 4 {
+		t.Fatalf("oversized budget trimmed points: %v", got)
+	}
+	// Budgeted: strided, deduplicated, first and last always present.
+	pts = crashPoints(1000, 10)
+	if len(pts) != 10 || pts[0] != 0 || pts[len(pts)-1] != 1000 {
+		t.Fatalf("budgeted points wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("points not strictly increasing: %v", pts)
+		}
+	}
+	// Degenerate budget still covers both ends.
+	if got := crashPoints(7, 1); len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Fatalf("budget 1 points wrong: %v", got)
+	}
+	// No records: the single end-of-run boundary.
+	if got := crashPoints(0, 4); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("zero-record points wrong: %v", got)
+	}
+}

@@ -1,0 +1,183 @@
+package dlcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flit/internal/core"
+	"flit/internal/crashtest"
+	"flit/internal/dlcheck"
+	"flit/internal/dstruct"
+	"flit/internal/pmem"
+	"flit/internal/store"
+)
+
+// Mutation self-tests: deliberately broken policies must be *caught* by
+// the enumerator — a checker that cannot reject a broken protocol proves
+// nothing by accepting a correct one.
+
+// windowFliT drives the mutation self-test. It reimplements the flit
+// store protocol with the tag window held open between a successful p-CAS
+// and its flush+fence (modeling a slow clwb/sfence: the schedule shape
+// under which the pre-read flush earns its keep), and — when broken — it
+// skips that pre-read flush: a p-load that observes a tagged (pending,
+// possibly unpersisted) value returns it without flushing, and a failed
+// p-CAS likewise drops its observed-value obligation. An operation can
+// then complete depending on a value a crash at the right boundary loses,
+// which the enumerator must find; the un-broken variant under the same
+// window must sail through (no false positives from slow hardware).
+type windowFliT struct {
+	*core.FliT
+	broken bool
+}
+
+func (p windowFliT) Name() string {
+	if p.broken {
+		return "flit-broken-load"
+	}
+	return "flit-slow-window"
+}
+
+func (p windowFliT) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
+	t.CheckCrash()
+	v := t.Load(a)
+	if !p.broken && pflag && p.C.Tagged(t, a) {
+		t.PWB(a)
+	}
+	return v
+}
+
+func (p windowFliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
+	t.CheckCrash()
+	t.PFence()
+	if !pflag {
+		return t.CAS(a, old, new)
+	}
+	p.C.Inc(t, a)
+	ok := t.CAS(a, old, new)
+	if ok {
+		holdWindow() // concurrent readers now see the tagged, unpersisted value
+		t.PWB(a)
+		t.PFence()
+	}
+	p.C.Dec(t, a)
+	if !ok && !p.broken && p.C.Tagged(t, a) {
+		t.PWB(a)
+	}
+	return ok
+}
+
+// holdWindow parks the writer long enough for concurrently running
+// readers to complete whole operations inside the tag window.
+func holdWindow() { time.Sleep(200 * time.Microsecond) }
+
+func newDLStore(t *testing.T, policy string) *store.Store {
+	t.Helper()
+	st, err := crashtest.NewDLStore(policy, dstruct.Automatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// mutationOpts is the shared shape of the window runs: contended keys,
+// enough overlap, full enumeration (any occurrence in the recorded
+// schedule must be found).
+func mutationOpts(seed int64) dlcheck.Options {
+	opts := dlcheck.DefaultOptions(seed)
+	opts.Workers = 4
+	opts.OpsPerWorker = 24
+	opts.KeyRange = 6
+	opts.Budget = 0
+	return opts
+}
+
+// TestBrokenLoadPolicyIsCaught: the skipped pre-read flush must be
+// detected on at least one structure. The tag window is held open by the
+// policy (see windowFliT), so readers reliably complete inside it; a few
+// seeds bound scheduler variance.
+func TestBrokenLoadPolicyIsCaught(t *testing.T) {
+	maxSeed := int64(10)
+	targets := crashtest.Targets()
+	caught := false
+	var sample string
+	for seed := int64(1); seed <= maxSeed && !caught; seed++ {
+		for _, target := range targets[:2] { // list and hashtable: densest overlap
+			pol := windowFliT{core.NewFliT(core.NewHashTable(1 << 14)), true}
+			rep := dlcheck.RunSet(dlcheck.NewConfig(pol, dstruct.Automatic), target.DL(), mutationOpts(seed))
+			if rep.Violation != nil {
+				caught = true
+				sample = rep.Violation.Error()
+				break
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("broken-load policy passed the enumerator — dlcheck has no teeth")
+	}
+	t.Logf("caught as expected:\n%s", sample)
+}
+
+// TestSlowWindowPolicyPasses is the mutation test's control: the same
+// held-open tag window with the *correct* load protocol must produce zero
+// violations — the enumerator's stamping discipline must not mistake slow
+// persists for lost ones.
+func TestSlowWindowPolicyPasses(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, target := range crashtest.Targets()[:2] {
+			pol := windowFliT{core.NewFliT(core.NewHashTable(1 << 14)), false}
+			rep := dlcheck.RunSet(dlcheck.NewConfig(pol, dstruct.Automatic), target.DL(), mutationOpts(seed))
+			if rep.Violation != nil {
+				t.Fatalf("%s seed %d: slow-but-correct window flagged: %v", target.Name, seed, rep.Violation)
+			}
+		}
+	}
+}
+
+// TestNoPersistPolicyIsCaught: the non-persistent baseline must fail
+// deterministically — its prefill never reaches the base image, so even
+// the first boundary is unexplainable.
+func TestNoPersistPolicyIsCaught(t *testing.T) {
+	for _, target := range crashtest.Targets() {
+		t.Run(target.Name, func(t *testing.T) {
+			opts := dlcheck.DefaultOptions(1)
+			rep := dlcheck.RunSet(dlcheck.NewConfig(core.NoPersist{}, dstruct.Automatic), target.DL(), opts)
+			if rep.Violation == nil {
+				t.Fatal("no-persist policy passed the enumerator")
+			}
+			if rep.Violation.Reason == "" || rep.Violation.Diff == "" {
+				t.Fatalf("violation lacks a repro trace: %+v", rep.Violation)
+			}
+		})
+	}
+}
+
+// TestNoPersistStoreIsCaught: same teeth at service granularity.
+func TestNoPersistStoreIsCaught(t *testing.T) {
+	st := newDLStore(t, core.PolicyNoPersist)
+	rep := crashtest.RunStoreDL(st, dlcheck.DefaultOptions(1))
+	if rep.Violation == nil {
+		t.Fatal("no-persist store passed the enumerator")
+	}
+}
+
+// TestViolationReproTrace: the repro trace must carry the boundary, the
+// schedule and the state diff — debuggable from a CI artifact alone.
+func TestViolationReproTrace(t *testing.T) {
+	opts := dlcheck.DefaultOptions(3)
+	rep := dlcheck.RunSet(dlcheck.NewConfig(core.NoPersist{}, dstruct.Automatic), crashtest.Targets()[0].DL(), opts)
+	if rep.Violation == nil {
+		t.Fatal("expected a violation to format")
+	}
+	msg := rep.Violation.Error()
+	for _, want := range []string{"durable-linearizability violation", "reason:", "state diff:"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("repro trace missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"flit/internal/core"
+	"flit/internal/dlcheck"
 	"flit/internal/dstruct"
 	"flit/internal/pheap"
 	"flit/internal/pmem"
@@ -98,6 +99,60 @@ func ShortConfigs(cfgs []dstruct.Config) []dstruct.Config {
 		}
 	}
 	return out
+}
+
+// DLConfigs enumerates the (policy × mode) combinations the systematic
+// durable-linearizability battery checks: the flit-HT scheme across every
+// durability mode, plus one representative of each other persistence-
+// ordering behaviour under automatic. Heaps are small (dlcheck.Words) and
+// run on the virtual clock.
+func DLConfigs(withLAP bool) []dstruct.Config {
+	mk := dlcheck.NewConfig
+	var out []dstruct.Config
+	for _, mode := range dstruct.Modes {
+		out = append(out, mk(core.NewFliT(core.NewHashTable(1<<14)), mode))
+	}
+	out = append(out,
+		mk(core.NewFliT(core.Adjacent{}), dstruct.Automatic),
+		mk(core.Plain{}, dstruct.Automatic),
+		mk(core.Izraelevitz{}, dstruct.Automatic),
+	)
+	if withLAP {
+		out = append(out, mk(core.LinkAndPersist{}, dstruct.Automatic))
+	}
+	return out
+}
+
+// DLCheck runs the systematic crash-point enumeration battery
+// (internal/dlcheck) against one structure configuration: a recorded
+// concurrent execution is checked for durable linearizability at every
+// (budgeted) PWB/PFence boundary. The full default run enumerates every
+// boundary; -short bounds the budget.
+func DLCheck(t *testing.T, name string, cfg dstruct.Config, f Factory, r Recoverer, seed int64) {
+	t.Helper()
+	opts := dlcheck.DefaultOptions(seed)
+	if testing.Short() {
+		opts.Budget = 48
+	} else {
+		opts.Budget = 0
+	}
+	rep := dlcheck.RunSet(cfg, dlcheck.Target{
+		Name: name,
+		New: func(c dstruct.Config) dlcheck.Instance {
+			in := f(c)
+			return dlcheck.Instance{Set: in.Set, Snapshot: in.Snapshot}
+		},
+		Recover: func(c dstruct.Config) dlcheck.Instance {
+			in := r(c)
+			return dlcheck.Instance{Set: in.Set, Snapshot: in.Snapshot}
+		},
+	}, opts)
+	if rep.Violation != nil {
+		t.Fatalf("dlcheck: %v", rep.Violation)
+	}
+	if _, isNoPersist := cfg.Policy.(core.NoPersist); !isNoPersist && rep.Records == 0 {
+		t.Fatal("dlcheck: no persist records traced — tracer unwired?")
+	}
 }
 
 // SequentialModel drives random single-threaded operations against a map

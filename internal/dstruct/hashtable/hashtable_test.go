@@ -79,3 +79,14 @@ func TestRepeatedCrashes(t *testing.T) {
 	cfg := dstest.Configs(1<<20, false)[0]
 	dstest.RepeatedCrashes(t, cfg, factory(16), recoverer, 4)
 }
+
+// TestDurableLinearizabilityEnumerated runs the systematic crash-point
+// battery: every (budgeted) PWB/PFence boundary of a recorded execution
+// must recover to a state some linearization explains.
+func TestDurableLinearizabilityEnumerated(t *testing.T) {
+	for _, cfg := range dstest.DLConfigs(true) {
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.DLCheck(t, "hashtable", cfg, factory(8), recoverer, 1)
+		})
+	}
+}

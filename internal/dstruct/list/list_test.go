@@ -282,3 +282,22 @@ func TestRepeatedCrashes(t *testing.T) {
 	}
 	dstest.RepeatedCrashes(t, cfg, inst, rec, 4)
 }
+
+// TestDurableLinearizabilityEnumerated runs the systematic crash-point
+// battery: every (budgeted) PWB/PFence boundary of a recorded execution
+// must recover to a state some linearization explains.
+func TestDurableLinearizabilityEnumerated(t *testing.T) {
+	inst := func(c dstruct.Config) dstest.Instance {
+		l := New(c)
+		return dstest.Instance{Set: l, Cfg: c, Snapshot: l.Snapshot}
+	}
+	rec := func(c dstruct.Config) dstest.Instance {
+		l := Recover(c)
+		return dstest.Instance{Set: l, Cfg: c, Snapshot: l.Snapshot}
+	}
+	for _, cfg := range dstest.DLConfigs(true) {
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.DLCheck(t, "list", cfg, inst, rec, 1)
+		})
+	}
+}

@@ -118,3 +118,14 @@ func TestLinkAndPersistWorks(t *testing.T) {
 	}
 	_ = core.P
 }
+
+// TestDurableLinearizabilityEnumerated runs the systematic crash-point
+// battery: every (budgeted) PWB/PFence boundary of a recorded execution
+// must recover to a state some linearization explains.
+func TestDurableLinearizabilityEnumerated(t *testing.T) {
+	for _, cfg := range dstest.DLConfigs(true) {
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.DLCheck(t, "lockmap", cfg, factory(8), recoverer, 1)
+		})
+	}
+}

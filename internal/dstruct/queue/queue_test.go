@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flit/internal/core"
+	"flit/internal/dlcheck"
 	"flit/internal/dstruct"
 	"flit/internal/pheap"
 	"flit/internal/pmem"
@@ -25,6 +26,7 @@ func policies(words int) []core.Policy {
 		core.NewFliT(core.NewHashTable(1 << 14)),
 		core.NewFliT(core.Adjacent{}),
 		core.Plain{},
+		core.Izraelevitz{},
 		core.LinkAndPersist{}, // the queue uses only CAS stores
 	}
 }
@@ -252,4 +254,50 @@ func TestValueRangePanics(t *testing.T) {
 		}
 	}()
 	th.Enqueue(core.PayloadMask + 1)
+}
+
+// TestDurableLinearizabilityEnumerated runs the systematic crash-point
+// battery against the queue: whole-history FIFO checking at every
+// PWB/PFence boundary of a recorded execution. This battery exercises the
+// failed-p-CAS load obligation's home turf (the taken-mark skip path);
+// the deterministic guard pinning that obligation per policy is
+// core's TestFailedPCASFlushesObservedValue.
+func TestDurableLinearizabilityEnumerated(t *testing.T) {
+	for _, pol := range policies(1 << 16) {
+		t.Run(pol.Name(), func(t *testing.T) {
+			seeds := []int64{1, 2, 3}
+			if testing.Short() {
+				seeds = seeds[:1]
+			}
+			for _, seed := range seeds {
+				// A fresh queue per seed: the enumerator's initial state
+				// is its own prefill, so leftovers would read as phantoms.
+				mc := pmem.DefaultConfig(1 << 16)
+				mc.VirtualClock = true
+				cfg := dstruct.Config{
+					Heap: pheap.New(pmem.New(mc)), Policy: pol,
+					Mode: dstruct.Manual, RootSlot: 0, Stride: dstruct.StrideFor(pol),
+				}
+				q := New(cfg)
+				opts := dlcheck.DefaultOptions(seed)
+				opts.OpsPerWorker = 8 // whole-history search: keep ops modest
+				opts.Budget = 0
+				rep := dlcheck.RunQueue(dlcheck.QueueHarness{
+					Name: "queue", Mem: cfg.Heap.Mem(), Policy: cfg.Policy,
+					NewSession: func() dlcheck.QueueSession { return q.NewThread() },
+					Recover: func(img []uint64) ([]uint64, error) {
+						cfg2 := cfg
+						cfg2.Heap = pheap.Recover(pmem.NewFromImage(img, cfg.Heap.Mem().Config()), cfg.Heap.Watermark())
+						return Recover(cfg2).Snapshot(), nil
+					},
+				}, opts)
+				if rep.Violation != nil {
+					t.Fatalf("seed %d: %v", seed, rep.Violation)
+				}
+				if rep.Records == 0 {
+					t.Fatalf("seed %d: no persist records traced", seed)
+				}
+			}
+		})
+	}
 }

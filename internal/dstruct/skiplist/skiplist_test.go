@@ -109,3 +109,14 @@ func TestRepeatedCrashes(t *testing.T) {
 	cfg := dstest.Configs(1<<22, false)[0]
 	dstest.RepeatedCrashes(t, cfg, factory, recoverer, dstest.Scale(4, 2))
 }
+
+// TestDurableLinearizabilityEnumerated runs the systematic crash-point
+// battery: every (budgeted) PWB/PFence boundary of a recorded execution
+// must recover to a state some linearization explains.
+func TestDurableLinearizabilityEnumerated(t *testing.T) {
+	for _, cfg := range dstest.DLConfigs(true) {
+		t.Run(dstest.Label(cfg), func(t *testing.T) {
+			dstest.DLCheck(t, "skiplist", cfg, factory, recoverer, 1)
+		})
+	}
+}

@@ -14,28 +14,27 @@ func FuzzCheckKey(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3}, true, false)
 	f.Add([]byte{9, 9, 9}, false, true)
 	f.Add([]byte{}, true, true)
+	// Duplicate responses: back-to-back completed inserts (both reporting
+	// success is inconsistent), duplicated deletes, and insert/delete
+	// pairs that both claim the same transition.
+	f.Add([]byte{4, 4}, false, true)
+	f.Add([]byte{5, 5, 4, 4}, false, false)
+	f.Add([]byte{4, 0, 4, 0}, false, true)
+	// Crash-truncated shapes: pending tails (b%4==3 → pending) behind
+	// completed prefixes, and alternating pending/completed traffic.
+	f.Add([]byte{4, 3, 7, 11}, false, true)
+	f.Add([]byte{0, 3, 1, 7, 2, 11}, true, false)
+	f.Add([]byte{3, 3, 3}, false, false)
 	f.Fuzz(func(t *testing.T, raw []byte, init, final bool) {
 		if len(raw) > 20 {
 			raw = raw[:20]
 		}
-		ops := make([]Op, 0, len(raw))
-		ts := int64(1)
-		for _, b := range raw {
-			kind := Kind(b % 3)
-			completed := b%4 != 3
-			op := Op{Kind: kind, Start: ts, End: ts + 1, Completed: completed,
-				Result: b%8 >= 4}
-			if !completed {
-				op.End = math.MaxInt64
-			}
-			ts += 2
-			ops = append(ops, op)
-		}
+		ops := opsFromBytes(raw)
 		accepted := CheckKey(ops, init, final)
 
 		// Invariant: appending a pending op never shrinks acceptance.
 		widened := append(append([]Op(nil), ops...), Op{
-			Kind: Insert, Start: ts, End: math.MaxInt64,
+			Kind: Insert, Start: int64(2*len(ops) + 1), End: math.MaxInt64,
 		})
 		if accepted && !CheckKey(widened, init, final) {
 			t.Fatalf("adding a pending op rejected a previously valid history")
@@ -43,6 +42,74 @@ func FuzzCheckKey(f *testing.F) {
 		// A pending insert must always allow final=true.
 		if accepted && !CheckKey(widened, init, true) {
 			t.Fatalf("pending insert cannot explain final presence")
+		}
+	})
+}
+
+// opsFromBytes decodes the fuzz byte encoding shared by the hist fuzz
+// targets: kind = b%3, completed unless b%4==3, result = b%8>=4, with
+// op i occupying [2i+1, 2i+2].
+func opsFromBytes(raw []byte) []Op {
+	ops := make([]Op, 0, len(raw))
+	ts := int64(1)
+	for _, b := range raw {
+		op := Op{Kind: Kind(b % 3), Start: ts, End: ts + 1,
+			Completed: b%4 != 3, Result: b%8 >= 4}
+		if !op.Completed {
+			op.End = math.MaxInt64
+		}
+		ts += 2
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// FuzzTruncate checks the crash-projection's invariants: truncation is
+// idempotent, truncating past every response is the identity, and
+// truncating at the last invocation (which drops nothing, only demotes)
+// can only widen the set of acceptable finals.
+func FuzzTruncate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, true, false, uint8(3))
+	f.Add([]byte{4, 3, 7, 11}, false, true, uint8(5))
+	f.Add([]byte{5, 5, 4, 4}, false, false, uint8(0))
+	f.Add([]byte{}, true, true, uint8(9))
+	f.Fuzz(func(t *testing.T, raw []byte, init, final bool, stampRaw uint8) {
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		ops := opsFromBytes(raw)
+		stamp := int64(stampRaw)
+
+		trunc := Truncate(ops, stamp)
+		again := Truncate(trunc, stamp)
+		if len(again) != len(trunc) {
+			t.Fatalf("truncation not idempotent: %d then %d ops", len(trunc), len(again))
+		}
+		for i := range trunc {
+			if trunc[i] != again[i] {
+				t.Fatalf("truncation not idempotent at op %d: %+v vs %+v", i, trunc[i], again[i])
+			}
+		}
+
+		ident := Truncate(ops, math.MaxInt64)
+		if len(ident) != len(ops) {
+			t.Fatalf("identity truncation dropped ops: %d of %d", len(ident), len(ops))
+		}
+		for i := range ops {
+			if ident[i] != ops[i] {
+				t.Fatalf("identity truncation mangled op %d", i)
+			}
+		}
+
+		if len(ops) > 0 {
+			lastStart := ops[len(ops)-1].Start // starts are increasing
+			demoted := Truncate(ops, lastStart)
+			if len(demoted) != len(ops) {
+				t.Fatalf("demotion-only truncation dropped ops")
+			}
+			if CheckKey(ops, init, final) && !CheckKey(demoted, init, final) {
+				t.Fatalf("demoting running ops to pending shrank acceptance")
+			}
 		}
 	})
 }

@@ -99,6 +99,28 @@ func Gather(recs []*Recorder) map[uint64][]Op {
 	return out
 }
 
+// Truncate projects a per-key history onto a hypothetical crash at the
+// given stamp: operations invoked after the crash never existed, and
+// operations still running at the crash become pending (their eventual
+// result is unknowable at that instant). The crash-point enumerator
+// (internal/dlcheck) uses it to re-read one recorded execution as a
+// family of crashed executions, one per persist boundary.
+func Truncate(ops []Op, stamp int64) []Op {
+	out := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if op.Start > stamp {
+			continue
+		}
+		if op.End > stamp {
+			op.Completed = false
+			op.Result = false
+			op.End = math.MaxInt64
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
 // Violation describes a durable-linearizability failure for one key.
 type Violation struct {
 	Key     uint64
@@ -208,7 +230,12 @@ func CheckKey(ops []Op, init, final bool) bool {
 // initial maps prefilled keys to true; finalState maps keys present after
 // recovery. It returns nil, or the first violation found.
 func Check(recs []*Recorder, initial map[uint64]bool, finalState map[uint64]bool) *Violation {
-	perKey := Gather(recs)
+	return CheckOps(Gather(recs), initial, finalState)
+}
+
+// CheckOps is Check over an already-gathered (and possibly Truncated)
+// per-key history.
+func CheckOps(perKey map[uint64][]Op, initial map[uint64]bool, finalState map[uint64]bool) *Violation {
 	// Keys only in initial/final still need checking (e.g. a prefilled key
 	// nobody touched must survive).
 	keys := make(map[uint64]bool)

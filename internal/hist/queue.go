@@ -1,0 +1,246 @@
+package hist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FIFO-queue histories. Unlike the set checker, queue linearizability is
+// not per-key local — the order of enqueues couples every element — so the
+// whole history is decided in one Wing–Gong-style interval-order search
+// over explicit queue states, memoized on (linearized-set, state). Exact
+// for up to 64 operations; the dlcheck batteries keep runs well under
+// that.
+
+// QKind is a queue operation type.
+type QKind int8
+
+// Queue operation kinds.
+const (
+	QEnqueue QKind = iota
+	QDequeue
+)
+
+func (k QKind) String() string {
+	switch k {
+	case QEnqueue:
+		return "enqueue"
+	case QDequeue:
+		return "dequeue"
+	default:
+		return fmt.Sprintf("QKind(%d)", int(k))
+	}
+}
+
+// QOp is one recorded queue operation.
+type QOp struct {
+	Kind QKind
+	// Value is the enqueued value, or the dequeued value when OK.
+	Value uint64
+	// OK distinguishes a successful dequeue from an empty one (dequeues
+	// only; enqueues always succeed).
+	OK        bool
+	Completed bool  // the response returned before the crash
+	Start     int64 // invocation timestamp
+	End       int64 // response timestamp; math.MaxInt64 while pending
+}
+
+func (op QOp) String() string {
+	end, res := "pending", "?"
+	if op.Completed {
+		end = fmt.Sprint(op.End)
+		switch {
+		case op.Kind == QEnqueue:
+			res = "ok"
+		case op.OK:
+			res = fmt.Sprint(op.Value)
+		default:
+			res = "empty"
+		}
+	}
+	arg := ""
+	if op.Kind == QEnqueue {
+		arg = fmt.Sprint(op.Value)
+	}
+	return fmt.Sprintf("[%d,%s] %s(%s) = %s", op.Start, end, op.Kind, arg, res)
+}
+
+// QRecorder logs the queue operations of a single thread. Not safe for
+// sharing; one per worker goroutine.
+type QRecorder struct {
+	clock *Clock
+	ops   []QOp
+}
+
+// NewQRecorder creates a queue recorder stamping against clock.
+func NewQRecorder(clock *Clock) *QRecorder { return &QRecorder{clock: clock} }
+
+// BeginEnqueue logs an enqueue invocation and returns a token for Finish.
+func (r *QRecorder) BeginEnqueue(v uint64) int {
+	r.ops = append(r.ops, QOp{Kind: QEnqueue, Value: v, Start: r.clock.Now(), End: math.MaxInt64})
+	return len(r.ops) - 1
+}
+
+// BeginDequeue logs a dequeue invocation and returns a token for Finish.
+func (r *QRecorder) BeginDequeue() int {
+	r.ops = append(r.ops, QOp{Kind: QDequeue, Start: r.clock.Now(), End: math.MaxInt64})
+	return len(r.ops) - 1
+}
+
+// FinishEnqueue logs an enqueue response.
+func (r *QRecorder) FinishEnqueue(tok int) {
+	r.ops[tok].End = r.clock.Now()
+	r.ops[tok].Completed = true
+}
+
+// FinishDequeue logs a dequeue response.
+func (r *QRecorder) FinishDequeue(tok int, v uint64, ok bool) {
+	r.ops[tok].End = r.clock.Now()
+	r.ops[tok].Completed = true
+	r.ops[tok].OK = ok
+	if ok {
+		r.ops[tok].Value = v
+	}
+}
+
+// Ops returns the recorded operations (read after the thread stopped).
+func (r *QRecorder) Ops() []QOp { return r.ops }
+
+// TruncateQ is Truncate for queue histories: ops invoked after stamp
+// vanish, ops still running become pending.
+func TruncateQ(ops []QOp, stamp int64) []QOp {
+	out := make([]QOp, 0, len(ops))
+	for _, op := range ops {
+		if op.Start > stamp {
+			continue
+		}
+		if op.End > stamp {
+			op.Completed = false
+			op.OK = false
+			if op.Kind == QDequeue {
+				op.Value = 0
+			}
+			op.End = math.MaxInt64
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// QViolation describes a durable-linearizability failure of a queue
+// history.
+type QViolation struct {
+	Initial []uint64
+	Final   []uint64
+	Ops     []QOp
+}
+
+// Error formats the violation with the full history.
+func (v *QViolation) Error() string {
+	s := fmt.Sprintf("queue: no linearization explains recovered contents %v (initial %v, %d ops)",
+		v.Final, v.Initial, len(v.Ops))
+	for _, op := range v.Ops {
+		s += "\n  " + op.String()
+	}
+	return s
+}
+
+// CheckQueue decides whether some linearization of ops — consistent with
+// FIFO sequential semantics, the ops' interval order and completed
+// results, with pending ops free to take effect or vanish — transforms
+// the initial queue contents (front first) into exactly final. It returns
+// nil, or a violation carrying the history. Exact for up to 64 ops.
+func CheckQueue(ops []QOp, initial, final []uint64) *QViolation {
+	if len(ops) > 64 {
+		panic("hist: more than 64 queue ops; shorten the run")
+	}
+	var completedMask uint64
+	for i, op := range ops {
+		if op.Completed {
+			completedMask |= 1 << i
+		}
+	}
+	type state struct {
+		mask uint64
+		q    string
+	}
+	encode := func(q []uint64) string {
+		b := make([]byte, 8*len(q))
+		for i, v := range q {
+			binary.LittleEndian.PutUint64(b[8*i:], v)
+		}
+		return string(b)
+	}
+	equal := func(a, b []uint64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	visited := make(map[state]bool)
+	var rec func(mask uint64, q []uint64) bool
+	rec = func(mask uint64, q []uint64) bool {
+		if mask&completedMask == completedMask && equal(q, final) {
+			return true // leftover pending ops simply never took effect
+		}
+		key := state{mask, encode(q)}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		for i := range ops {
+			bit := uint64(1) << i
+			if mask&bit != 0 {
+				continue
+			}
+			// Interval order: i may linearize next only if no other
+			// remaining op already responded before i was invoked.
+			blocked := false
+			for j := range ops {
+				if j != i && mask&(uint64(1)<<j) == 0 && ops[j].End < ops[i].Start {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			op := ops[i]
+			var nq []uint64
+			switch {
+			case op.Kind == QEnqueue:
+				nq = append(append(make([]uint64, 0, len(q)+1), q...), op.Value)
+			case op.Completed && op.OK:
+				if len(q) == 0 || q[0] != op.Value {
+					continue
+				}
+				nq = q[1:]
+			case op.Completed: // completed empty dequeue
+				if len(q) != 0 {
+					continue
+				}
+				nq = q
+			default: // pending dequeue taking effect: pops the front, if any
+				if len(q) > 0 {
+					nq = q[1:]
+				} else {
+					nq = q
+				}
+			}
+			if rec(mask|bit, nq) {
+				return true
+			}
+		}
+		return false
+	}
+	if rec(0, initial) {
+		return nil
+	}
+	return &QViolation{Initial: initial, Final: final, Ops: ops}
+}

@@ -151,6 +151,10 @@ type Memory struct {
 
 	crashArmed atomic.Bool
 
+	// trace, when non-nil, records every fence-drained line (see
+	// StartTrace). Attached/detached only while quiescent, like SetCosts.
+	trace *Trace
+
 	mu      sync.Mutex
 	threads []*Thread
 }

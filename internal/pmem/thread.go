@@ -182,16 +182,21 @@ func (t *Thread) PFence() {
 	t.Stats.PFences++
 	m := t.M
 	n := len(t.wb.lines)
+	tr := m.trace
 	for _, l := range t.wb.lines {
 		// Serialize per-line write-backs, as coherence does on hardware:
 		// whichever drain runs second re-reads the volatile line, so the
 		// shadow can only move forward.
 		for !atomic.CompareAndSwapUint32(&m.drainLock[l], 0, 1) {
 		}
-		base := Addr(l) << LineShift
-		for i := Addr(0); i < WordsPerLine; i++ {
-			v := atomic.LoadUint64(&m.words[base+i])
-			atomic.StoreUint64(&m.shadow[base+i], v)
+		if tr != nil {
+			tr.drain(t, l)
+		} else {
+			base := Addr(l) << LineShift
+			for i := Addr(0); i < WordsPerLine; i++ {
+				v := atomic.LoadUint64(&m.words[base+i])
+				atomic.StoreUint64(&m.shadow[base+i], v)
+			}
 		}
 		atomic.StoreUint32(&m.drainLock[l], 0)
 	}
