@@ -68,7 +68,7 @@ func modeByName(name string) dstruct.Mode {
 
 func main() {
 	rounds := flag.Int("rounds", 60, "seeded crash rounds per combination")
-	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst|lockmap; with -dlcheck also queue|store)")
+	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst|lockmap; with -dlcheck also queue|store|store-batched)")
 	modeFilter := flag.String("mode", "", "restrict to one durability mode (automatic|nvtraverse|manual)")
 	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|izraelevitz|link-and-persist)")
 	seed0 := flag.Int64("seed", 1, "first seed")
@@ -144,8 +144,9 @@ func main() {
 }
 
 // runDLCheck drives the systematic battery: structures × modes ×
-// policies, the durable queue, and the sharded store, each recorded
-// execution checked at every (budgeted) persist boundary.
+// policies, the durable queue, the sharded store, and the store's
+// batched (group-commit) request path, each recorded execution checked
+// at every (budgeted) persist boundary.
 func runDLCheck(rounds int, dsFilter, modeFilter, polFilter string, seed0 int64, budget int, tracePath string, verbose bool) int {
 	start := time.Now()
 	total, points, records := 0, 0, 0
@@ -243,8 +244,30 @@ func runDLCheck(rounds int, dsFilter, modeFilter, polFilter string, seed0 int64,
 		}
 	}
 
+	// The batched (group-commit) request path: the network server's
+	// executor — pipelined batches, one commit fence per batch, responses
+	// recorded only after it — enumerated exactly like the per-op store.
+	if dsFilter == "" || dsFilter == "store-batched" {
+		for _, mode := range modes {
+			for _, polName := range polNamesFor(true) {
+				for r := 0; r < rounds; r++ {
+					seed := seed0 + int64(r)
+					st, err := crashtest.NewDLStore(polName, mode)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "flitcrash: %v\n", err)
+						return 2
+					}
+					opts := dlcheck.DefaultOptions(seed)
+					opts.Budget = budget
+					rep := crashtest.RunStoreBatchedDL(st, opts)
+					report(fmt.Sprintf("store-batched/%s/%s", mode, polName), rep, seed)
+				}
+			}
+		}
+	}
+
 	if total == 0 {
-		fmt.Fprintf(os.Stderr, "flitcrash: no dlcheck runs matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst|queue|store; the queue is manual-only, link-and-persist applies only to list|hashtable|skiplist|lockmap|queue)\n",
+		fmt.Fprintf(os.Stderr, "flitcrash: no dlcheck runs matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst|queue|store|store-batched; the queue is manual-only, link-and-persist applies only to list|hashtable|skiplist|lockmap|queue)\n",
 			dsFilter, modeFilter, polFilter)
 		return 2
 	}

@@ -1,0 +1,100 @@
+// Command flitload is the pipelining load generator for flitstored: it
+// drives a YCSB mix through pipelined connections (closed-loop windows,
+// or open-loop fixed-rate arrivals with -rate) and reports
+// client-observed throughput and tail latency together with the
+// server-side instruction deltas — pwbs and fences per acknowledged
+// operation, the quantities group commit amortizes.
+//
+// Usage:
+//
+//	flitload -addr 127.0.0.1:7117 -load -mix a -dist zipfian -depth 16 -duration 5s
+//	flitload -unix /tmp/flitstored.sock -mix c -conns 4 -rate 50000
+//	flitload -addr 127.0.0.1:7117 -ping
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"flit/internal/client"
+	"flit/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7117", "server TCP address (ignored with -unix)")
+	unixPath := flag.String("unix", "", "connect to a unix socket at this path instead of TCP")
+	mix := flag.String("mix", "a", "YCSB mix (a-f)")
+	dist := flag.String("dist", workload.DistZipfian, "key distribution (uniform|zipfian|latest)")
+	zipfS := flag.Float64("zipfs", 0, "zipfian skew (<=1 selects the default)")
+	records := flag.Uint64("records", 1<<14, "keyspace size at run start")
+	conns := flag.Int("conns", 1, "parallel connections")
+	depth := flag.Int("depth", 16, "closed-loop pipeline frames per connection")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in ops/s across all connections (0 = closed loop)")
+	duration := flag.Duration("duration", 3*time.Second, "measured window")
+	seed := flag.Int64("seed", 1, "workload seed")
+	load := flag.Bool("load", false, "bulk-insert the keyspace over the wire before the run")
+	ping := flag.Bool("ping", false, "round-trip one PING and exit (liveness probe)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	flag.Parse()
+
+	network, target := "tcp", *addr
+	if *unixPath != "" {
+		network, target = "unix", *unixPath
+	}
+	dial := func() (net.Conn, error) { return net.Dial(network, target) }
+
+	if *ping {
+		c, err := client.Dial(network, target)
+		if err == nil {
+			err = c.Ping()
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flitload: ping: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("flitload: pong")
+		return
+	}
+
+	if *load {
+		t0 := time.Now()
+		if err := client.Load(dial, *records, *conns, max(*depth, 1)); err != nil {
+			fmt.Fprintf(os.Stderr, "flitload: load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flitload: loaded %d records in %v\n", *records, time.Since(t0).Round(time.Millisecond))
+	}
+
+	res, err := client.Run(dial, client.Spec{
+		Mix: *mix, Dist: *dist, ZipfS: *zipfS, Records: *records,
+		Conns: *conns, Depth: *depth, Rate: *rate,
+		Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flitload: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "flitload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	loop := fmt.Sprintf("closed depth=%d", res.Depth)
+	if res.Rate > 0 {
+		loop = fmt.Sprintf("open rate=%.0f/s", res.Rate)
+	}
+	fmt.Printf("flitload: mix=%s dist=%s conns=%d %s: %d ops in %v (%.0f ops/s)\n",
+		res.Mix, res.Dist, res.Conns, loop, res.Ops, res.Elapsed.Round(time.Millisecond), res.OpsPerSec)
+	fmt.Printf("  latency p50=%v p95=%v p99=%v max=%v\n", res.P50, res.P95, res.P99, res.Max)
+	fmt.Printf("  server: %d ops in %d batches (%.1f ops/batch), %.3f pwbs/op, %.3f pfences/op\n",
+		res.ServerOps, res.ServerBatches, res.OpsPerBatch, res.PWBsPerOp, res.PFencesPerOp)
+}

@@ -45,8 +45,14 @@
 //     shard per persistent root, a self-describing superblock, and
 //     shard-parallel post-crash recovery
 //   - internal/workload: a YCSB-style workload subsystem (mixes A-F,
-//     uniform/zipfian/latest distributions, latency histograms) driven
-//     by cmd/flitstore, which emits JSON performance reports
+//     uniform/zipfian/latest distributions, latency histograms,
+//     closed- and open-loop runners) driven by cmd/flitstore, which
+//     emits JSON performance reports
+//   - internal/server, internal/client: the network front-end — a
+//     pipelined binary protocol whose per-connection batches execute
+//     with persistence deferred and commit under one shared fence
+//     before any response (group-commit durability batching), served
+//     by cmd/flitstored and driven by the cmd/flitload generator
 //
 // See DESIGN.md for the package inventory and EXPERIMENTS.md for how to
 // regenerate the paper's figures and the store's performance reports.

@@ -2,13 +2,16 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
 	"flit/internal/bench/stats"
+	"flit/internal/client"
 	"flit/internal/core"
 	"flit/internal/dstruct"
 	"flit/internal/harness"
+	"flit/internal/server"
 	"flit/internal/store"
 	"flit/internal/workload"
 )
@@ -49,6 +52,29 @@ func (c StoreCell) ID() string {
 		fmt.Sprintf("s%d", c.Shards), fmt.Sprintf("r%d", c.Records))
 }
 
+// NetCell is one point of the network front-end grid: a YCSB mix
+// driven through the group-commit server over Conns pipelined
+// in-process connections at pipeline depth Depth (request frames per
+// window). Its pwbs_per_op cell is PWBs per *acknowledged* server
+// operation — the quantity group commit amortizes against the same
+// mix's in-process StoreCell baseline.
+type NetCell struct {
+	Mix     string
+	Dist    string
+	Policy  string
+	Shards  int
+	Records uint64
+	Conns   int
+	Depth   int
+}
+
+// ID is the cell's stable identity (see SetCell.ID).
+func (c NetCell) ID() string {
+	return SlugID("net", c.Mix, c.Dist, c.Policy,
+		fmt.Sprintf("s%d", c.Shards), fmt.Sprintf("r%d", c.Records),
+		fmt.Sprintf("c%d", c.Conns), fmt.Sprintf("d%d", c.Depth))
+}
+
 // Matrix declares a benchmark run: which cells, and how each is
 // measured (threads, warmup, measured duration, repeats). Zero values
 // take defaults scaled to the host.
@@ -76,6 +102,7 @@ type Matrix struct {
 	VirtualClock bool
 	Set          []SetCell
 	Store        []StoreCell
+	Net          []NetCell
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -114,7 +141,7 @@ func (m Matrix) Config() map[string]string {
 // through the stats kernel — and returns the validated report.
 func (m Matrix) Run() (*Report, error) {
 	m = m.withDefaults()
-	if len(m.Set) == 0 && len(m.Store) == 0 {
+	if len(m.Set) == 0 && len(m.Store) == 0 && len(m.Net) == 0 {
 		return nil, fmt.Errorf("bench: matrix %q has no cells", m.Name)
 	}
 	rep := NewReport("bench-matrix", m.Config())
@@ -123,6 +150,11 @@ func (m Matrix) Run() (*Report, error) {
 	}
 	for _, c := range m.Store {
 		if err := m.runStore(rep, c); err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
+		}
+	}
+	for _, c := range m.Net {
+		if err := m.runNet(rep, c); err != nil {
 			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
 		}
 	}
@@ -229,6 +261,88 @@ func (m Matrix) runStore(rep *Report, c StoreCell) error {
 	return nil
 }
 
+// runNet measures one network front-end cell: build the sharded store,
+// YCSB-load it in-process, boot the group-commit server over in-process
+// pipe transports, then drive the pipelining client load generator —
+// warmup discarded, repeats folded. Throughput and latency are
+// client-observed; pwbs/pfences come from the server-side instruction
+// deltas per acknowledged op.
+func (m Matrix) runNet(rep *Report, c NetCell) error {
+	st, err := store.New(store.Options{
+		Shards:       c.Shards,
+		ExpectedKeys: int(c.Records) * 3,
+		Policy:       c.Policy,
+		Mode:         dstruct.Automatic,
+		VirtualClock: m.VirtualClock,
+	})
+	if err != nil {
+		return err
+	}
+	workload.Load(st, c.Records, m.Threads)
+	srv := server.New(st, server.Options{})
+	defer srv.Close()
+	dial := func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		return cc, nil
+	}
+	spec := client.Spec{
+		Mix: c.Mix, Dist: c.Dist, Records: c.Records,
+		Conns: c.Conns, Depth: c.Depth, Seed: m.Seed,
+		Duration: m.Duration,
+	}
+	if m.Warmup > 0 {
+		warm := spec
+		warm.Duration = m.Warmup
+		if _, err := client.Run(dial, warm); err != nil {
+			return err
+		}
+	}
+	var tput, pwbRate, p99, perBatch []float64
+	var ops, pwbs, pfences uint64
+	var p50Sum, p95Sum, p99Sum int64
+	for i := 0; i < m.Repeats; i++ {
+		r, err := client.Run(dial, spec)
+		if err != nil {
+			return err
+		}
+		tput = append(tput, r.OpsPerSec)
+		pwbRate = append(pwbRate, r.PWBsPerOp)
+		p99 = append(p99, float64(r.P99.Nanoseconds()))
+		perBatch = append(perBatch, r.OpsPerBatch)
+		ops += r.ServerOps
+		pwbs += r.PWBs
+		pfences += r.PFences
+		p50Sum += r.P50.Nanoseconds()
+		p95Sum += r.P95.Nanoseconds()
+		p99Sum += r.P99.Nanoseconds()
+	}
+	n := int64(m.Repeats)
+	id := c.ID()
+	rep.Add(Cell{
+		ID: id + "/throughput", Unit: "ops/s", Value: stats.Summarize(tput),
+		Ops: ops, PWBs: pwbs, PFences: pfences,
+		P50Ns: p50Sum / n, P95Ns: p95Sum / n, P99Ns: p99Sum / n,
+	})
+	rep.Add(Cell{
+		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Summarize(pwbRate),
+		LowerIsBetter: true,
+	})
+	// The batching headline: acknowledged ops per group commit. Tracks
+	// the pipeline depth in the closed loop, so Compare can gate the
+	// amortization itself, not just its downstream pwbs/op effect.
+	rep.Add(Cell{
+		ID: id + "/ops_per_batch", Unit: "ops/batch", Value: stats.Summarize(perBatch),
+	})
+	if m.Latency {
+		rep.Add(Cell{
+			ID: id + "/p99", Unit: "ns", Value: stats.Summarize(p99),
+			LowerIsBetter: true,
+		})
+	}
+	return nil
+}
+
 // CrossSet expands the cross product of structures × policies × modes ×
 // update ratios into set cells, skipping the one inapplicable
 // combination (link-and-persist on the NM-BST, as in Figure 7).
@@ -274,6 +388,35 @@ func Presets() map[string]Matrix {
 				{Mix: "c", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
 			},
 		},
+		// groupcommit is the fence-amortization comparison: the same
+		// YCSB mixes measured in-process with per-op persistence (the
+		// store cells — the unbatched baseline) and through the
+		// group-commit server at increasing pipeline depths (the net
+		// cells). Single-threaded / single-connection so the pwbs/op
+		// cells are near-deterministic; at depth ≥ 8 the net cells'
+		// pwbs/op must sit strictly below the same mix's store cell,
+		// and pfences per op collapse (visible in the cells' raw
+		// counts). BENCH_groupcommit.json is this matrix's committed
+		// trajectory point.
+		"groupcommit": {
+			Name:     "groupcommit",
+			Threads:  1,
+			Duration: 150 * time.Millisecond,
+			Warmup:   75 * time.Millisecond,
+			Repeats:  3,
+			Seed:     1,
+			Store: []StoreCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+			},
+			Net: []NetCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 1},
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 8},
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 32},
+				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 8},
+				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 32},
+			},
+		},
 		"full": {
 			Name:     "full",
 			Duration: 200 * time.Millisecond,
@@ -294,6 +437,10 @@ func Presets() map[string]Matrix {
 				{Mix: "c", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
 				{Mix: "f", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000},
 			},
+			Net: []NetCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000, Conns: 2, Depth: 16},
+				{Mix: "b", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 8, Records: 20_000, Conns: 2, Depth: 16},
+			},
 		},
 	}
 }
@@ -305,4 +452,4 @@ func Preset(name string) (Matrix, bool) {
 }
 
 // PresetNames lists the preset matrices in a stable order.
-func PresetNames() []string { return []string{"smoke", "full"} }
+func PresetNames() []string { return []string{"smoke", "groupcommit", "full"} }

@@ -151,3 +151,73 @@ func cellIDs(r *Report) []string {
 	}
 	return ids
 }
+
+// TestMatrixRunNetCell drives one network front-end cell at tiny
+// duration: the report must carry client-observed throughput/latency
+// and a positive pwbs-per-acked-op value.
+func TestMatrixRunNetCell(t *testing.T) {
+	m := Matrix{
+		Name:     "tiny-net",
+		Threads:  1,
+		Duration: 20 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Repeats:  2,
+		Seed:     1,
+		Net: []NetCell{
+			{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT,
+				Shards: 2, Records: 1024, Conns: 1, Depth: 8},
+		},
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := rep.Find("net/a/zipfian/flit-ht/s2/r1024/c1/d8/throughput")
+	if tput == nil {
+		t.Fatalf("net throughput cell missing; have %v", cellIDs(rep))
+	}
+	if tput.Value.Mean <= 0 || tput.Ops == 0 || tput.P99Ns <= 0 || tput.PFences == 0 {
+		t.Fatalf("net throughput cell incomplete: %+v", tput)
+	}
+	pwb := rep.Find("net/a/zipfian/flit-ht/s2/r1024/c1/d8/pwbs_per_op")
+	if pwb == nil || !pwb.LowerIsBetter || pwb.Value.Mean <= 0 {
+		t.Fatalf("net pwbs_per_op cell wrong: %+v", pwb)
+	}
+	// Group commit at depth 8: far fewer fences than acked ops.
+	if tput.PFences >= tput.Ops {
+		t.Fatalf("net cell fences %d >= acked ops %d: no amortization", tput.PFences, tput.Ops)
+	}
+	opb := rep.Find("net/a/zipfian/flit-ht/s2/r1024/c1/d8/ops_per_batch")
+	if opb == nil || opb.Value.Mean <= 1.5 {
+		t.Fatalf("ops_per_batch cell missing or not batching at depth 8: %+v", opb)
+	}
+}
+
+// TestGroupCommitPreset pins the committed comparison's structure: the
+// groupcommit preset pairs each net mix with its unbatched store
+// baseline and includes pipeline depths ≥ 8.
+func TestGroupCommitPreset(t *testing.T) {
+	m, ok := Preset("groupcommit")
+	if !ok {
+		t.Fatal("groupcommit preset missing")
+	}
+	if m.Threads != 1 {
+		t.Fatalf("groupcommit preset threads = %d, want 1 (determinism)", m.Threads)
+	}
+	baseMixes := map[string]bool{}
+	for _, c := range m.Store {
+		baseMixes[c.Mix] = true
+	}
+	deep := false
+	for _, c := range m.Net {
+		if !baseMixes[c.Mix] {
+			t.Fatalf("net cell mix %q has no unbatched store baseline in the preset", c.Mix)
+		}
+		if c.Depth >= 8 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Fatal("groupcommit preset has no depth >= 8 net cell")
+	}
+}

@@ -1,0 +1,174 @@
+// Package client is the FliT-Store network client: a pipelining
+// connection over the server's length-prefixed binary protocol, plus a
+// load generator (loadgen.go) that drives the YCSB workload mixes
+// through pipelined connections — the feeder the server's group-commit
+// batching is designed for.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"flit/internal/server"
+)
+
+// Conn is a client connection. Not safe for concurrent use: the
+// pipelining discipline (Send*/Flush/Recv) is the caller's, one
+// goroutine at a time — the load generator runs one Conn per worker.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	// inflight queues the opcodes of sent-but-unanswered requests;
+	// responses decode against them in FIFO order.
+	inflight []byte
+	head     int
+	out      []byte
+	resp     server.Response
+}
+
+// New wraps an established transport (TCP, unix socket, net.Pipe).
+func New(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Dial connects to a flitstored server.
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(c), nil
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Pending reports the sent-but-unanswered request count.
+func (c *Conn) Pending() int { return len(c.inflight) - c.head }
+
+// Send buffers one request frame without flushing; pipeline as many as
+// the window wants, then Flush once so the server sees — and
+// group-commits — the whole window.
+func (c *Conn) Send(req *server.Request) {
+	c.out = server.AppendRequest(c.out[:0], req)
+	c.bw.Write(c.out)
+	c.inflight = append(c.inflight, req.Op)
+}
+
+// Flush pushes every buffered request to the transport.
+func (c *Conn) Flush() error { return c.bw.Flush() }
+
+// Recv decodes the next pipelined response, in send order. The returned
+// Response aliases internal buffers until the next Recv.
+func (c *Conn) Recv() (*server.Response, error) {
+	if c.head == len(c.inflight) {
+		return nil, fmt.Errorf("client: Recv with no request in flight")
+	}
+	op := c.inflight[c.head]
+	if err := server.ReadResponse(c.br, op, &c.resp); err != nil {
+		return nil, err
+	}
+	c.head++
+	if c.head == len(c.inflight) {
+		c.inflight, c.head = c.inflight[:0], 0
+	}
+	if c.resp.Status == server.StatusErr {
+		return nil, fmt.Errorf("client: server error: %s", c.resp.Body)
+	}
+	return &c.resp, nil
+}
+
+// SendUntracked buffers a request without enrolling it in the pipeline
+// FIFO — for callers that track response opcodes themselves. The
+// open-loop load generator splits one Conn between a sender and a
+// receiver goroutine this way: the write half (SendUntracked, Flush)
+// and the read half (RecvFor) touch disjoint state, so the split is
+// race-free as long as each half stays on one goroutine.
+func (c *Conn) SendUntracked(req *server.Request) {
+	c.out = server.AppendRequest(c.out[:0], req)
+	c.bw.Write(c.out)
+}
+
+// RecvFor decodes the next response frame for a request sent with
+// opcode op (untracked pipelining). The returned Response aliases
+// internal buffers until the next RecvFor/Recv.
+func (c *Conn) RecvFor(op byte) (*server.Response, error) {
+	if err := server.ReadResponse(c.br, op, &c.resp); err != nil {
+		return nil, err
+	}
+	if c.resp.Status == server.StatusErr {
+		return nil, fmt.Errorf("client: server error: %s", c.resp.Body)
+	}
+	return &c.resp, nil
+}
+
+// roundTrip sends one request and waits for its response (pipeline
+// depth 1 — the synchronous convenience API).
+func (c *Conn) roundTrip(req *server.Request) (*server.Response, error) {
+	c.Send(req)
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Get fetches key's value.
+func (c *Conn) Get(key []byte) (uint64, bool, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Status == server.StatusOK, nil
+}
+
+// Put stores key→val, reporting whether the key was newly inserted.
+func (c *Conn) Put(key []byte, val uint64) (bool, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpPut, Key: key, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Conn) Delete(key []byte) (bool, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Contains reports whether key is present.
+func (c *Conn) Contains(key []byte) (bool, error) {
+	resp, err := c.roundTrip(&server.Request{Op: server.OpContains, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Ping round-trips an empty frame.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip(&server.Request{Op: server.OpPing})
+	return err
+}
+
+// Stats fetches the server's cumulative counters.
+func (c *Conn) Stats() (server.Stats, error) {
+	var st server.Stats
+	resp, err := c.roundTrip(&server.Request{Op: server.OpStats})
+	if err != nil {
+		return st, err
+	}
+	err = json.Unmarshal(resp.Body, &st)
+	return st, err
+}

@@ -1,0 +1,406 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flit/internal/server"
+	"flit/internal/workload"
+)
+
+// Spec describes one timed load-generation run against a flitstored
+// server: a YCSB mix over pipelined connections.
+//
+// Closed loop (Rate == 0): each connection keeps a pipeline window of
+// Depth request frames outstanding — send the window, flush once (so
+// the server group-commits the whole window), read it back, repeat.
+// Latency is the client-observed window round trip per operation.
+//
+// Open loop (Rate > 0): operations arrive on a fixed schedule at Rate
+// ops/s total, split evenly across connections, regardless of how fast
+// responses return. Latency is measured from the scheduled arrival, so
+// queueing delay under overload is charged to the server — the
+// coordinated-omission-free spelling, matching the workload runner's
+// open-loop mode.
+type Spec struct {
+	Mix     string
+	Dist    string
+	ZipfS   float64
+	Records uint64
+	ScanMax int
+
+	Conns    int           // parallel connections (default 1)
+	Depth    int           // closed-loop pipeline frames per conn (default 1)
+	Rate     float64       // open-loop total ops/s; 0 selects closed loop
+	Duration time.Duration // measured window
+	Seed     int64
+}
+
+// Result aggregates one run: client-observed throughput and latency,
+// plus the server-side instruction deltas (via STATS) that make the
+// group-commit amortization visible — PWBs and fences per acknowledged
+// operation.
+type Result struct {
+	Mix     string        `json:"mix"`
+	Dist    string        `json:"dist"`
+	Conns   int           `json:"conns"`
+	Depth   int           `json:"depth"`
+	Rate    float64       `json:"rate,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+
+	Reads   uint64 `json:"reads"`
+	Updates uint64 `json:"updates"`
+	Inserts uint64 `json:"inserts"`
+	RMWs    uint64 `json:"rmws"`
+	Scans   uint64 `json:"scans"`
+
+	// Server-side deltas over the run window.
+	ServerOps     uint64  `json:"server_ops"`
+	ServerBatches uint64  `json:"server_batches"`
+	PWBs          uint64  `json:"pwbs"`
+	PFences       uint64  `json:"pfences"`
+	PWBsPerOp     float64 `json:"pwbs_per_op"`
+	PFencesPerOp  float64 `json:"pfences_per_op"`
+	OpsPerBatch   float64 `json:"ops_per_batch"`
+}
+
+// Load bulk-inserts key indices [0, records) through conns pipelined
+// connections (the YCSB load phase over the wire).
+func Load(dial func() (net.Conn, error), records uint64, conns, depth int) error {
+	if conns < 1 {
+		conns = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nc, err := dial()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			c := New(nc)
+			defer c.Close()
+			keyBuf := make([]byte, 0, 32)
+			req := server.Request{Op: server.OpPut}
+			for i := uint64(w); i < records; i += uint64(conns) {
+				keyBuf = workload.AppendKey(keyBuf[:0], i)
+				req.Key, req.Val = keyBuf, i
+				c.Send(&req)
+				if c.Pending() >= depth {
+					if errs[w] = drain(c); errs[w] != nil {
+						return
+					}
+				}
+			}
+			errs[w] = drain(c)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain flushes and receives every in-flight response.
+func drain(c *Conn) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	for c.Pending() > 0 {
+		if _, err := c.Recv(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frames returns the number of request frames op expands to: RMW is a
+// pipelined GET+PUT (the blind-update approximation — a pipelined
+// client cannot fold the read into the write without stalling), Scan a
+// burst of ScanLen GETs.
+func frames(op workload.Op) int {
+	switch op.Kind {
+	case workload.ReadModifyWrite:
+		return 2
+	case workload.Scan:
+		return op.ScanLen
+	default:
+		return 1
+	}
+}
+
+// sendOp pipelines op's frames through send, reusing keyBuf.
+func sendOp(send func(*server.Request), op workload.Op, keyBuf *[]byte, limit *atomic.Uint64) {
+	var req server.Request
+	switch op.Kind {
+	case workload.Read:
+		*keyBuf = workload.AppendKey((*keyBuf)[:0], op.Key)
+		req = server.Request{Op: server.OpGet, Key: *keyBuf}
+		send(&req)
+	case workload.Update, workload.Insert:
+		*keyBuf = workload.AppendKey((*keyBuf)[:0], op.Key)
+		req = server.Request{Op: server.OpPut, Key: *keyBuf, Val: op.Key}
+		send(&req)
+	case workload.ReadModifyWrite:
+		*keyBuf = workload.AppendKey((*keyBuf)[:0], op.Key)
+		req = server.Request{Op: server.OpGet, Key: *keyBuf}
+		send(&req)
+		req = server.Request{Op: server.OpPut, Key: *keyBuf, Val: op.Key + 1}
+		send(&req)
+	case workload.Scan:
+		n := limit.Load()
+		for j := uint64(0); j < uint64(op.ScanLen); j++ {
+			*keyBuf = workload.AppendKey((*keyBuf)[:0], (op.Key+j)%n)
+			req = server.Request{Op: server.OpGet, Key: *keyBuf}
+			send(&req)
+		}
+	}
+}
+
+// opcodeAt returns the request opcode of frame i of an operation of the
+// given kind (the open-loop receiver's decode key).
+func opcodeAt(kind workload.OpKind, i int) byte {
+	switch kind {
+	case workload.Update, workload.Insert:
+		return server.OpPut
+	case workload.ReadModifyWrite:
+		if i == 1 {
+			return server.OpPut
+		}
+		return server.OpGet
+	default:
+		return server.OpGet
+	}
+}
+
+// Run drives the spec against the server behind dial and aggregates
+// client-side latency with server-side instruction deltas.
+func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
+	mix, err := workload.MixByName(sp.Mix)
+	if err != nil {
+		return Result{}, err
+	}
+	if sp.Records == 0 {
+		return Result{}, fmt.Errorf("client: spec needs Records > 0")
+	}
+	if sp.Conns < 1 {
+		sp.Conns = 1
+	}
+	if sp.Depth < 1 {
+		sp.Depth = 1
+	}
+	if sp.Dist == "" {
+		sp.Dist = workload.DistUniform
+	}
+
+	var limit atomic.Uint64
+	limit.Store(sp.Records)
+	gens := make([]*workload.Generator, sp.Conns)
+	for w := range gens {
+		g, err := workload.NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, sp.Seed+int64(w)*7919)
+		if err != nil {
+			return Result{}, err
+		}
+		gens[w] = g
+	}
+
+	statsNC, err := dial()
+	if err != nil {
+		return Result{}, err
+	}
+	statsConn := New(statsNC)
+	defer statsConn.Close()
+	before, err := statsConn.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+
+	hists := make([]*workload.Hist, sp.Conns)
+	kinds := make([][5]uint64, sp.Conns)
+	errs := make([]error, sp.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(sp.Duration)
+	for w := 0; w < sp.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nc, err := dial()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			c := New(nc)
+			defer c.Close()
+			h := workload.NewHist()
+			hists[w] = h
+			if sp.Rate > 0 {
+				errs[w] = runOpen(c, gens[w], &limit, h, &kinds[w], deadline, sp.Rate, w, sp.Conns)
+			} else {
+				errs[w] = runClosed(c, gens[w], &limit, h, &kinds[w], deadline, sp.Depth)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	after, err := statsConn.Stats()
+	if err != nil {
+		return Result{}, err
+	}
+
+	all := workload.NewHist()
+	var kindSum [5]uint64
+	for w := range hists {
+		if hists[w] != nil {
+			all.Merge(hists[w])
+		}
+		for k, n := range kinds[w] {
+			kindSum[k] += n
+		}
+	}
+	res := Result{
+		Mix: sp.Mix, Dist: sp.Dist, Conns: sp.Conns, Depth: sp.Depth, Rate: sp.Rate,
+		Elapsed: elapsed, Ops: all.Count(),
+		P50: all.Quantile(0.50), P95: all.Quantile(0.95), P99: all.Quantile(0.99), Max: all.Max(),
+		Reads:   kindSum[workload.Read],
+		Updates: kindSum[workload.Update],
+		Inserts: kindSum[workload.Insert],
+		RMWs:    kindSum[workload.ReadModifyWrite],
+		Scans:   kindSum[workload.Scan],
+
+		ServerOps:     after.OpsServed - before.OpsServed,
+		ServerBatches: after.Batches - before.Batches,
+		PWBs:          after.PWBs - before.PWBs,
+		PFences:       after.PFences - before.PFences,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	if res.ServerOps > 0 {
+		res.PWBsPerOp = float64(res.PWBs) / float64(res.ServerOps)
+		res.PFencesPerOp = float64(res.PFences) / float64(res.ServerOps)
+	}
+	if res.ServerBatches > 0 {
+		res.OpsPerBatch = float64(res.ServerOps) / float64(res.ServerBatches)
+	}
+	return res, nil
+}
+
+// runClosed is the closed-loop worker: fill a Depth-frame window, flush
+// once, read it back, recording one latency per logical operation.
+func runClosed(c *Conn, g *workload.Generator, limit *atomic.Uint64,
+	h *workload.Hist, kinds *[5]uint64, deadline time.Time, depth int) error {
+	keyBuf := make([]byte, 0, 32)
+	winOps := make([]workload.Op, 0, depth)
+	for time.Now().Before(deadline) {
+		winOps = winOps[:0]
+		framesSent := 0
+		for framesSent < depth {
+			op := g.Next()
+			winOps = append(winOps, op)
+			sendOp(c.Send, op, &keyBuf, limit)
+			framesSent += frames(op)
+		}
+		t0 := time.Now()
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for _, op := range winOps {
+			for f := frames(op); f > 0; f-- {
+				if _, err := c.Recv(); err != nil {
+					return err
+				}
+			}
+			h.Record(time.Since(t0))
+			kinds[op.Kind]++
+		}
+	}
+	return nil
+}
+
+// openMeta carries one scheduled operation from the open-loop sender to
+// its receiver.
+type openMeta struct {
+	sched  time.Time
+	frames int
+	kind   workload.OpKind
+}
+
+// runOpen is the open-loop worker pair: the sender fires operations at
+// their scheduled arrival times; the receiver records latency from the
+// schedule, not from the send — queueing is part of the measurement.
+func runOpen(c *Conn, g *workload.Generator, limit *atomic.Uint64,
+	h *workload.Hist, kinds *[5]uint64, deadline time.Time, rate float64, w, conns int) error {
+	if rate <= 0 {
+		return fmt.Errorf("client: open loop needs a positive rate")
+	}
+	step, offset := workload.OpenLoopSchedule(rate, w, conns)
+	ch := make(chan openMeta, 1<<14)
+	var sendErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ch)
+		keyBuf := make([]byte, 0, 32)
+		next := time.Now().Add(offset)
+		for next.Before(deadline) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			op := g.Next()
+			sendOp(c.SendUntracked, op, &keyBuf, limit)
+			if sendErr = c.Flush(); sendErr != nil {
+				return
+			}
+			ch <- openMeta{sched: next, frames: frames(op), kind: op.Kind}
+			next = next.Add(step)
+		}
+	}()
+	var recvErr error
+	for m := range ch {
+		if recvErr != nil {
+			continue // drain the channel so the sender never blocks
+		}
+		for f := 0; f < m.frames; f++ {
+			if _, err := c.RecvFor(opcodeAt(m.kind, f)); err != nil {
+				recvErr = err
+				break
+			}
+		}
+		if recvErr == nil {
+			h.Record(time.Since(m.sched))
+			kinds[m.kind]++
+		}
+	}
+	wg.Wait()
+	if sendErr != nil {
+		return sendErr
+	}
+	return recvErr
+}

@@ -1,0 +1,124 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flit/internal/client"
+	"flit/internal/core"
+	"flit/internal/server"
+	"flit/internal/store"
+	"flit/internal/workload"
+)
+
+// pipeDialer boots an in-process server and returns a dialer minting
+// net.Pipe connections served by it.
+func pipeDialer(t *testing.T) (*server.Server, func() (net.Conn, error)) {
+	t.Helper()
+	st, err := store.New(store.Options{
+		Shards: 4, ExpectedKeys: 1 << 12, Policy: core.PolicyHT,
+		HTBytes: 1 << 14, VirtualClock: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(st, server.Options{})
+	t.Cleanup(func() { srv.Close() })
+	return srv, func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		return cc, nil
+	}
+}
+
+// TestLoadAndRunClosedLoop: the wire load phase populates the store,
+// and a closed-loop run at depth 16 forms multi-op server batches.
+func TestLoadAndRunClosedLoop(t *testing.T) {
+	srv, dial := pipeDialer(t)
+	const records = 512
+	if err := client.Load(dial, records, 2, 16); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Store().Snapshot()
+	if len(snap) != records {
+		t.Fatalf("load phase left %d keys, want %d", len(snap), records)
+	}
+
+	res, err := client.Run(dial, client.Spec{
+		Mix: "a", Dist: workload.DistZipfian, Records: records,
+		Conns: 2, Depth: 16, Duration: 150 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.ServerOps == 0 {
+		t.Fatalf("no ops recorded: %+v", res)
+	}
+	if res.Reads == 0 || res.Updates == 0 {
+		t.Fatalf("mix a produced reads=%d updates=%d", res.Reads, res.Updates)
+	}
+	if res.OpsPerBatch <= 1.5 {
+		t.Fatalf("ops/batch = %.2f at depth 16: pipeline batching is not happening", res.OpsPerBatch)
+	}
+	if res.PWBsPerOp <= 0 {
+		t.Fatalf("pwbs/op = %v for an update-heavy mix", res.PWBsPerOp)
+	}
+	if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("latency ordering broken: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+}
+
+// TestRunOpenLoop: the fixed-rate arrival mode paces operations and
+// measures from the schedule.
+func TestRunOpenLoop(t *testing.T) {
+	_, dial := pipeDialer(t)
+	if err := client.Load(dial, 256, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(dial, client.Spec{
+		Mix: "b", Dist: workload.DistUniform, Records: 256,
+		Conns: 2, Rate: 2000, Duration: 200 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open loop recorded no ops")
+	}
+	// 2000/s over ~200ms ≈ 400 arrivals; allow generous slack for
+	// scheduler jitter, but the pacing must bite in both directions.
+	if res.Ops > 500 {
+		t.Fatalf("open loop ran %d ops at rate 2000/s over 200ms: pacing is not limiting", res.Ops)
+	}
+	if res.Ops < 100 {
+		t.Fatalf("open loop ran only %d ops at rate 2000/s over 200ms", res.Ops)
+	}
+}
+
+// TestRunScanAndRMWFrames: mixes expanding ops to multiple frames (E's
+// scan bursts, F's GET+PUT) stay in protocol sync end to end.
+func TestRunScanAndRMWFrames(t *testing.T) {
+	for _, mix := range []string{"e", "f"} {
+		_, dial := pipeDialer(t)
+		if err := client.Load(dial, 256, 1, 16); err != nil {
+			t.Fatal(err)
+		}
+		res, err := client.Run(dial, client.Spec{
+			Mix: mix, Dist: workload.DistUniform, Records: 256,
+			Conns: 1, Depth: 8, Duration: 100 * time.Millisecond, Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("mix %s: %v", mix, err)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("mix %s recorded no ops", mix)
+		}
+		if mix == "e" && res.Scans == 0 {
+			t.Fatal("mix e produced no scans")
+		}
+		if mix == "f" && res.RMWs == 0 {
+			t.Fatal("mix f produced no rmws")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"flit/internal/pmem"
+)
+
+func newDeferredMem(t *testing.T) (*pmem.Memory, *pmem.Thread) {
+	t.Helper()
+	cfg := pmem.DefaultConfig(1 << 12)
+	cfg.VirtualClock = true
+	m := pmem.New(cfg)
+	return m, m.RegisterThread()
+}
+
+// TestDeferredKinds pins the wrapper's dispatch: which policies defer
+// what.
+func TestDeferredKinds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  Policy
+		kind deferKind
+	}{
+		{"flit-ht", NewFliT(NewHashTable(1 << 12)), deferFlit},
+		{"flit-adjacent", NewFliT(Adjacent{}), deferFlit},
+		{"plain", Plain{}, deferFlush},
+		{"izraelevitz", Izraelevitz{}, deferFlush},
+		{"link-and-persist", LinkAndPersist{}, deferComplete},
+		{"no-persist", NoPersist{}, deferNone},
+	} {
+		d := NewDeferred(tc.pol)
+		if d.kind != tc.kind {
+			t.Errorf("%s: kind = %d, want %d", tc.name, d.kind, tc.kind)
+		}
+		if d.Inner() != tc.pol {
+			t.Errorf("%s: Inner() lost the wrapped policy", tc.name)
+		}
+		if d.Name() != tc.pol.Name()+"+gc" {
+			t.Errorf("%s: Name() = %q", tc.name, d.Name())
+		}
+	}
+}
+
+// TestDeferredStoreHoldsTagUntilFlush: a deferred FliT p-store leaves
+// its location tagged (so concurrent readers carry the flush
+// obligation), and Flush fences first, then untags — after which the
+// live-tag count is zero.
+func TestDeferredStoreHoldsTagUntilFlush(t *testing.T) {
+	_, th := newDeferredMem(t)
+	f := NewFliT(NewHashTable(1 << 12))
+	d := NewDeferred(f)
+	const a = pmem.Addr(64)
+
+	d.Store(th, a, 42, P)
+	if !f.C.Tagged(th, a) {
+		t.Fatal("deferred p-store did not leave the location tagged")
+	}
+	if n, _ := LiveTagCount(f); n != 1 {
+		t.Fatalf("live tags before Flush = %d, want 1", n)
+	}
+	if th.M.PersistedWord(a) != 0 {
+		t.Fatal("deferred p-store persisted before Flush")
+	}
+	if got := d.DeferredStores(); got != 1 {
+		t.Fatalf("DeferredStores = %d, want 1", got)
+	}
+
+	if n := d.Flush(th); n != 1 {
+		t.Fatalf("Flush drained %d lines, want 1", n)
+	}
+	if f.C.Tagged(th, a) {
+		t.Fatal("location still tagged after Flush")
+	}
+	if n, _ := LiveTagCount(f); n != 0 {
+		t.Fatalf("live tags after Flush = %d, want 0", n)
+	}
+	if th.M.PersistedWord(a) != 42 {
+		t.Fatalf("persisted word = %d, want 42", th.M.PersistedWord(a))
+	}
+}
+
+// TestDeferredDedupsSameLinePWBs: consecutive deferred stores (and
+// tagged loads) against one cache line issue a single PWB — the batch
+// window's coalescing dedup, which per-op trailing fences deny the
+// unbatched path.
+func TestDeferredDedupsSameLinePWBs(t *testing.T) {
+	_, th := newDeferredMem(t)
+	d := NewDeferred(NewFliT(NewHashTable(1 << 12)))
+	const a = pmem.Addr(64) // words 64..71 share a line
+
+	for i := 0; i < 8; i++ {
+		d.Store(th, a+pmem.Addr(i%4), uint64(i), P)
+	}
+	// The stores left the line tagged; p-loads must not re-flush it
+	// while it is pending on this batch's queue.
+	for i := 0; i < 4; i++ {
+		d.Load(th, a, P)
+	}
+	if th.Stats.PWBs != 1 {
+		t.Fatalf("issued %d PWBs for 8 same-line stores + 4 tagged loads, want 1", th.Stats.PWBs)
+	}
+	if th.Stats.PFences != 0 {
+		t.Fatalf("issued %d fences before Flush, want 0", th.Stats.PFences)
+	}
+	if n := d.Flush(th); n != 1 {
+		t.Fatalf("Flush drained %d lines, want 1", n)
+	}
+	if th.Stats.PFences != 1 {
+		t.Fatalf("Flush issued %d fences, want 1", th.Stats.PFences)
+	}
+}
+
+// TestDeferredCompleteDefersFence: Complete is fence-free for every
+// deferring kind; the batch fence is Flush's.
+func TestDeferredCompleteDefersFence(t *testing.T) {
+	for _, pol := range []Policy{
+		NewFliT(Adjacent{}), Plain{}, Izraelevitz{}, LinkAndPersist{},
+	} {
+		_, th := newDeferredMem(t)
+		d := NewDeferred(pol)
+		d.Complete(th)
+		if th.Stats.PFences != 0 {
+			t.Errorf("%s: Complete fenced under the batch skeleton", pol.Name())
+		}
+	}
+}
+
+// TestDeferredFlushPersistsLoadObligations: a deferred-mode p-load of a
+// line another thread left tagged flushes it, and this batch's Flush
+// persists it — the cross-session half of "ack ⇒ persisted".
+func TestDeferredFlushPersistsLoadObligations(t *testing.T) {
+	m, writer := newDeferredMem(t)
+	f := NewFliT(NewHashTable(1 << 12))
+	wd := NewDeferred(f)
+	const a = pmem.Addr(128)
+	wd.Store(writer, a, 7, P) // in flight: tagged, unfenced
+
+	reader := m.RegisterThread()
+	rd := NewDeferred(f)
+	if v := rd.Load(reader, a, P); v != 7 {
+		t.Fatalf("Load = %d, want 7", v)
+	}
+	if reader.Stats.PWBs != 1 {
+		t.Fatalf("reader issued %d PWBs for a tagged line, want 1", reader.Stats.PWBs)
+	}
+	rd.Flush(reader)
+	if m.PersistedWord(a) != 7 {
+		t.Fatal("reader's Flush did not persist the tagged value it observed")
+	}
+}
+
+// TestDeferredPassThrough: no-persist defers nothing and Flush does
+// nothing.
+func TestDeferredPassThrough(t *testing.T) {
+	_, th := newDeferredMem(t)
+	d := NewDeferred(NoPersist{})
+	d.Store(th, 64, 1, P)
+	d.Complete(th)
+	if n := d.Flush(th); n != 0 {
+		t.Fatalf("no-persist Flush drained %d lines, want 0", n)
+	}
+	if th.Stats.PWBs != 0 || th.Stats.PFences != 0 {
+		t.Fatal("no-persist pass-through issued persistence instructions")
+	}
+}
+
+// TestDeferredPlainStoreDeferred: under Plain the deferred store
+// flushes without fencing, and Flush persists it.
+func TestDeferredPlainStoreDeferred(t *testing.T) {
+	m, th := newDeferredMem(t)
+	d := NewDeferred(Plain{})
+	const a = pmem.Addr(64)
+	d.Store(th, a, 9, P)
+	if th.Stats.PWBs != 1 || th.Stats.PFences != 0 {
+		t.Fatalf("plain deferred store: PWBs=%d PFences=%d, want 1/0", th.Stats.PWBs, th.Stats.PFences)
+	}
+	if m.PersistedWord(a) != 0 {
+		t.Fatal("plain deferred store persisted before Flush")
+	}
+	d.Flush(th)
+	if m.PersistedWord(a) != 9 {
+		t.Fatal("Flush did not persist the deferred plain store")
+	}
+}
+
+// TestDeferredCASDelegates: publishing instructions keep the wrapped
+// policy's full fence discipline — a successful p-CAS is persistent
+// before it returns, batch or no batch.
+func TestDeferredCASDelegates(t *testing.T) {
+	m, th := newDeferredMem(t)
+	d := NewDeferred(NewFliT(NewHashTable(1 << 12)))
+	const a = pmem.Addr(64)
+	if !d.CAS(th, a, 0, 5, P) {
+		t.Fatal("CAS failed")
+	}
+	if m.PersistedWord(a) != 5 {
+		t.Fatal("p-CAS under the batch skeleton was not immediately persistent")
+	}
+}

@@ -1,0 +1,138 @@
+package dlcheck
+
+import (
+	"math/rand"
+	"sync"
+
+	"flit/internal/core"
+	"flit/internal/hist"
+	"flit/internal/pmem"
+)
+
+// This file extends the enumerator to batched (group-commit) request
+// paths: executions where a worker pipelines several operations, the
+// target executes them under one deferred-persistence batch, and every
+// response materializes only after the batch's single commit fence.
+//
+// The history model is the pipeline's: all of a batch's operations are
+// invoked (Begin) before the batch executes and respond (Finish) only
+// after it commits, so they overlap each other — any per-batch
+// serialization the executor picks is admissible — while the durable
+// rule still bites at full strength: once Finish is stamped, every
+// crash boundary after it must reflect the operation. A commit fence
+// that failed to persist an acknowledged effect is exactly what the
+// enumeration catches.
+
+// BatchOp is one operation of a batched execution (hist.Insert maps to
+// the store's Put: true iff newly inserted).
+type BatchOp struct {
+	Kind hist.Kind
+	Key  uint64
+	Val  uint64
+}
+
+// BatchExecutor executes one pipeline batch under a single group
+// commit. results[i] answers ops[i]; no result may be externalized
+// before the batch's commit fence — that is the property under test.
+type BatchExecutor interface {
+	ExecBatch(ops []BatchOp, results []bool)
+}
+
+// BatchedHarness abstracts a batched set-semantics target.
+type BatchedHarness struct {
+	// Name identifies the target in reports.
+	Name string
+	// Mem is the simulated memory the execution runs in (and is traced).
+	Mem *pmem.Memory
+	// Policy feeds the flit-tag quiescence oracle; nil skips it.
+	Policy core.Policy
+	// NewSession returns a fresh per-goroutine batch executor.
+	NewSession func() BatchExecutor
+	// Recover materializes the target from a crash image and returns its
+	// recovered key set.
+	Recover func(img []uint64) (map[uint64]bool, error)
+	// MaxBatch bounds the (seeded, varying) per-batch operation count
+	// (default 6 — deep enough to exercise multi-op commits, shallow
+	// enough to keep many commit boundaries per run).
+	MaxBatch int
+}
+
+// RunBatched records one concurrent batched execution against the
+// harness and checks every (budgeted) crash boundary, exactly as Run
+// does for per-operation targets.
+func RunBatched(h BatchedHarness, opts Options) *Report {
+	opts = opts.withDefaults()
+	maxBatch := h.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 6
+	}
+
+	// Prefill as one committed batch: the base image below must carry
+	// the initial state.
+	setup := h.NewSession()
+	initial := make(map[uint64]bool, opts.Prefill)
+	if opts.Prefill > 0 {
+		ops := make([]BatchOp, opts.Prefill)
+		for k := range ops {
+			ops[k] = BatchOp{Kind: hist.Insert, Key: uint64(k), Val: uint64(k) + 1000}
+			initial[uint64(k)] = true
+		}
+		setup.ExecBatch(ops, make([]bool, len(ops)))
+	}
+	base := h.Mem.CrashImage(pmem.DropUnfenced, 0)
+
+	clock := &hist.Clock{}
+	trace := h.Mem.StartTrace(clock.Now)
+	recs := make([]*hist.Recorder, opts.Workers)
+	sessions := make([]BatchExecutor, opts.Workers)
+	for w := range recs {
+		recs[w] = hist.NewRecorder(clock)
+		sessions[w] = h.NewSession()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex, rec := sessions[w], recs[w]
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			ops := make([]BatchOp, 0, maxBatch)
+			results := make([]bool, maxBatch)
+			toks := make([]int, 0, maxBatch)
+			remaining := opts.OpsPerWorker
+			for remaining > 0 {
+				depth := 1 + rng.Intn(maxBatch)
+				if depth > remaining {
+					depth = remaining
+				}
+				remaining -= depth
+				ops, toks = ops[:0], toks[:0]
+				for i := 0; i < depth; i++ {
+					k := uint64(rng.Intn(opts.KeyRange))
+					kind := hist.Kind(rng.Intn(3))
+					ops = append(ops, BatchOp{Kind: kind, Key: k, Val: uint64(w*1000 + i)})
+					// Invocation before execution: the pipeline has
+					// accepted the request.
+					toks = append(toks, rec.Begin(kind, k))
+				}
+				ex.ExecBatch(ops, results[:depth])
+				// Responses exist only now — after the batch's commit.
+				for i := 0; i < depth; i++ {
+					rec.Finish(toks[i], results[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.Mem.StopTrace()
+
+	records := trace.Records()
+	rep := newReport(h.Name, h.Policy, records, opts)
+	if rep.Violation != nil {
+		return rep
+	}
+	perKey := hist.Gather(recs)
+	guardPerKeyWindow(perKey)
+	enumerate(rep, base, records, opts.Budget, setBoundaryCheck(h.Recover, initial, perKey))
+	return rep
+}

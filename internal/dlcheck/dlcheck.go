@@ -295,12 +295,22 @@ func Run(h Harness, opts Options) *Report {
 
 	perKey := hist.Gather(recs)
 	guardPerKeyWindow(perKey)
-	enumerate(rep, base, records, opts.Budget, func(img []uint64, stamp int64) *Violation {
+	enumerate(rep, base, records, opts.Budget, setBoundaryCheck(h.Recover, initial, perKey))
+	return rep
+}
+
+// setBoundaryCheck builds the per-boundary verdict function for
+// set-semantics targets (shared by Run and RunBatched): truncate the
+// history at the crash stamp, recover the image, decide with the exact
+// checkers.
+func setBoundaryCheck(recover func(img []uint64) (map[uint64]bool, error),
+	initial map[uint64]bool, perKey map[uint64][]hist.Op) func(img []uint64, stamp int64) *Violation {
+	return func(img []uint64, stamp int64) *Violation {
 		trunc := make(map[uint64][]hist.Op, len(perKey))
 		for kk, ops := range perKey {
 			trunc[kk] = hist.Truncate(ops, stamp)
 		}
-		final, err := h.Recover(img)
+		final, err := recover(img)
 		if err != nil {
 			// A failed recovery is debuggable from the artifact alone too:
 			// carry the schedule that produced the unrecoverable image.
@@ -317,8 +327,7 @@ func Run(h Harness, opts Options) *Report {
 			}
 		}
 		return nil
-	})
-	return rep
+	}
 }
 
 // newReport builds a report skeleton and runs the flit-counter

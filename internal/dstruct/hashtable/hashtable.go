@@ -96,6 +96,14 @@ func (t *Table) NewThreadWith(th *pmem.Thread, ar *pheap.Arena) *Thread {
 	return &Thread{t: t, lt: t.l.NewThreadWith(th, ar)}
 }
 
+// NewThreadWithPolicy is NewThreadWith with the thread's instructions
+// instrumented by pol instead of the table's configured policy (see
+// list.NewThreadWithPolicy) — the entry point for group-commit batch
+// sessions.
+func (t *Table) NewThreadWithPolicy(th *pmem.Thread, ar *pheap.Arena, pol core.Policy) *Thread {
+	return &Thread{t: t, lt: t.l.NewThreadWithPolicy(th, ar, pol)}
+}
+
 // Ctx exposes the thread's execution context (stats, crash injection).
 func (th *Thread) Ctx() dstruct.Ctx { return th.lt.Ctx() }
 
@@ -149,16 +157,48 @@ func Recover(cfg dstruct.Config) *Table {
 // pairs survived — the gather pass already knows, so callers doing
 // shard-parallel recovery need not re-scan the table to count keys.
 func RecoverCount(cfg dstruct.Config) (*Table, int) {
+	return BeginRecover(cfg).Complete()
+}
+
+// Recovery is a two-phase table recovery: BeginRecover gathers every
+// bucket's surviving pairs into process memory, Complete rebuilds the
+// chains and fences. The split exists because recovery may run with a
+// stale allocation watermark (the embedding process crashed before it
+// could carry the newer one forward), in which case the rebuild's fresh
+// nodes can land on addresses still holding chains that have not been
+// gathered yet. Within one table the two phases order that correctly;
+// recoveries sharing one heap (the store's shard-parallel rebuild) must
+// additionally barrier between everyone's gather and anyone's rebuild.
+type Recovery struct {
+	cfg   dstruct.Config
+	tbl   *Table
+	pairs []map[uint64]uint64
+	keys  int
+}
+
+// BeginRecover attaches the persisted table and gathers every bucket's
+// surviving pairs (phase one; writes nothing).
+func BeginRecover(cfg dstruct.Config) *Recovery {
 	tbl := Attach(cfg)
-	t := cfg.Heap.Mem().RegisterThread()
-	ar := cfg.Heap.NewArena()
-	keys := 0
-	for i := 0; i < int(tbl.buckets); i++ {
-		head := cfg.Field(tbl.base, 1+i)
-		pairs := list.GatherAt(&cfg, head)
-		keys += len(pairs)
-		list.RebuildAt(&cfg, t, ar, head, pairs)
+	r := &Recovery{cfg: cfg, tbl: tbl, pairs: make([]map[uint64]uint64, tbl.buckets)}
+	for i := range r.pairs {
+		r.pairs[i] = list.GatherAt(&cfg, cfg.Field(tbl.base, 1+i))
+		r.keys += len(r.pairs[i])
+	}
+	return r
+}
+
+// Keys reports the surviving pair count gathered by BeginRecover.
+func (r *Recovery) Keys() int { return r.keys }
+
+// Complete rebuilds every bucket chain from the gathered pairs and
+// fences (phase two), returning the recovered table and its key count.
+func (r *Recovery) Complete() (*Table, int) {
+	t := r.cfg.Heap.Mem().RegisterThread()
+	ar := r.cfg.Heap.NewArena()
+	for i := range r.pairs {
+		list.RebuildAt(&r.cfg, t, ar, r.cfg.Field(r.tbl.base, 1+i), r.pairs[i])
 	}
 	t.PFence()
-	return tbl, keys
+	return r.tbl, r.keys
 }

@@ -60,14 +60,19 @@ func (l *List) Name() string { return "list" }
 // Thread is a per-goroutine handle to the list.
 type Thread struct {
 	l *List
-	c dstruct.Ctx
+	// cfg is the list's config, with Policy possibly overridden per
+	// thread (NewThreadWithPolicy): the group-commit batch sessions run
+	// the same structure under a deferred-persistence wrapper while
+	// plain sessions keep the base policy.
+	cfg dstruct.Config
+	c   dstruct.Ctx
 }
 
 // NewThread creates a per-goroutine handle.
 func (l *List) NewThread() dstruct.SetThread { return l.newThread() }
 
 func (l *List) newThread() *Thread {
-	return &Thread{l: l, c: l.cfg.NewCtx(l.dom)}
+	return &Thread{l: l, cfg: l.cfg, c: l.cfg.NewCtx(l.dom)}
 }
 
 // NewThreadWith creates a handle that shares an existing pmem thread and
@@ -77,7 +82,18 @@ func (l *List) newThread() *Thread {
 // countdown — exactly as a single core would; only the epoch-reclamation
 // handle stays per-structure, since each structure owns its domain.
 func (l *List) NewThreadWith(t *pmem.Thread, ar *pheap.Arena) *Thread {
-	return &Thread{l: l, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
+	return l.NewThreadWithPolicy(t, ar, l.cfg.Policy)
+}
+
+// NewThreadWithPolicy is NewThreadWith with the thread's instructions
+// instrumented by pol instead of the list's configured policy. pol must
+// be layout-compatible with the configured policy (same stride) — the
+// intended use is a per-session wrapper over it, such as the deferred
+// group-commit skeleton (core.NewDeferred).
+func (l *List) NewThreadWithPolicy(t *pmem.Thread, ar *pheap.Arena, pol core.Policy) *Thread {
+	cfg := l.cfg
+	cfg.Policy = pol
+	return &Thread{l: l, cfg: cfg, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
 }
 
 // Ctx exposes the thread's execution context (stats, crash injection).
@@ -85,16 +101,16 @@ func (t *Thread) Ctx() dstruct.Ctx { return t.c }
 
 // travP reports whether traversal loads are p-instructions (Automatic) or
 // v-instructions (NVTraverse, Manual).
-func (l *List) travP() bool { return l.cfg.Mode == dstruct.Automatic }
+func (t *Thread) travP() bool { return t.cfg.Mode == dstruct.Automatic }
 
 // find locates the first node with key >= key, physically unlinking any
 // marked node it passes (Harris's helping). It returns the address of the
 // link word pointing at curr (predLink), curr itself (0 if none), and
 // curr's key.
 func (t *Thread) find(head pmem.Addr, key uint64) (predLink pmem.Addr, curr pmem.Addr, curKey uint64) {
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
-	travP := t.l.travP()
+	travP := t.travP()
 retry:
 	predLink = head
 	curr = dstruct.Ptr(pol.Load(t.c.T, predLink, travP))
@@ -127,8 +143,8 @@ retry:
 // links its return value depends on). Under Automatic it is redundant and
 // skipped — every load already was a p-load.
 func (t *Thread) transition(a pmem.Addr) {
-	if t.l.cfg.Mode != dstruct.Automatic {
-		t.l.cfg.Policy.Load(t.c.T, a, core.P)
+	if t.cfg.Mode != dstruct.Automatic {
+		t.cfg.Policy.Load(t.c.T, a, core.P)
 	}
 }
 
@@ -138,7 +154,7 @@ func (t *Thread) transition(a pmem.Addr) {
 // modes use private v-stores plus one batched write-back per line, fenced
 // implicitly by the leading fence of the linking p-CAS.
 func (t *Thread) initNode(node pmem.Addr, key, val uint64, nextRaw uint64) {
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
 	if cfg.Mode == dstruct.Automatic {
 		pol.Store(t.c.T, cfg.Field(node, fKey), key, core.P)
@@ -153,7 +169,7 @@ func (t *Thread) initNode(node pmem.Addr, key, val uint64, nextRaw uint64) {
 }
 
 // Insert adds key→val if absent.
-func (t *Thread) Insert(key, val uint64) bool { return t.InsertAt(t.l.cfg.Root(), key, val) }
+func (t *Thread) Insert(key, val uint64) bool { return t.InsertAt(t.cfg.Root(), key, val) }
 
 // InsertAt runs Insert on the chain rooted at the link word head — the
 // entry point the hash table uses for its buckets.
@@ -168,7 +184,7 @@ func (t *Thread) insertAt(head pmem.Addr, key, val uint64, upsert bool) bool {
 	if key >= dstruct.KeyMax {
 		panic("list: key out of range")
 	}
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
 	t.c.H.Enter()
 	for {
@@ -198,7 +214,7 @@ func (t *Thread) insertAt(head pmem.Addr, key, val uint64, upsert bool) bool {
 
 // Upsert inserts key→val if key is absent, or durably overwrites the value
 // in place if present. It reports whether a new node was inserted.
-func (t *Thread) Upsert(key, val uint64) bool { return t.UpsertAt(t.l.cfg.Root(), key, val) }
+func (t *Thread) Upsert(key, val uint64) bool { return t.UpsertAt(t.cfg.Root(), key, val) }
 
 // UpsertAt runs Upsert on the chain rooted at head. The in-place update is
 // a shared p-store on the value word: its leading fence orders the loads
@@ -216,11 +232,11 @@ func (t *Thread) UpsertAt(head pmem.Addr, key, val uint64) bool {
 // point and is persisted in every mode; the physical unlink is also
 // persisted (see package comment) but its failure is benign — find() of
 // any later operation finishes the job.
-func (t *Thread) Delete(key uint64) bool { return t.DeleteAt(t.l.cfg.Root(), key) }
+func (t *Thread) Delete(key uint64) bool { return t.DeleteAt(t.cfg.Root(), key) }
 
 // DeleteAt runs Delete on the chain rooted at head.
 func (t *Thread) DeleteAt(head pmem.Addr, key uint64) bool {
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
 	t.c.H.Enter()
 	for {
@@ -235,7 +251,7 @@ func (t *Thread) DeleteAt(head pmem.Addr, key uint64) bool {
 		// The mark depends on curr being reachable: flush the incoming
 		// link if a concurrent insert's p-store is still pending.
 		t.transition(predLink)
-		nextRaw := pol.Load(t.c.T, nextAddr, t.l.travP())
+		nextRaw := pol.Load(t.c.T, nextAddr, t.travP())
 		if dstruct.Marked(nextRaw) {
 			continue // someone else is deleting it; re-find helps unlink
 		}
@@ -256,13 +272,13 @@ func (t *Thread) DeleteAt(head pmem.Addr, key uint64) bool {
 
 // Contains reports whether key is present. Read-only: it skips marked
 // nodes without unlinking.
-func (t *Thread) Contains(key uint64) bool { return t.ContainsAt(t.l.cfg.Root(), key) }
+func (t *Thread) Contains(key uint64) bool { return t.ContainsAt(t.cfg.Root(), key) }
 
 // ContainsAt runs Contains on the chain rooted at head.
 func (t *Thread) ContainsAt(head pmem.Addr, key uint64) bool {
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
-	travP := t.l.travP()
+	travP := t.travP()
 	t.c.H.Enter()
 	predLink := head
 	curr := dstruct.Ptr(pol.Load(t.c.T, predLink, travP))
@@ -293,13 +309,13 @@ func (t *Thread) ContainsAt(head pmem.Addr, key uint64) bool {
 }
 
 // Get returns the value stored under key, if present.
-func (t *Thread) Get(key uint64) (uint64, bool) { return t.GetAt(t.l.cfg.Root(), key) }
+func (t *Thread) Get(key uint64) (uint64, bool) { return t.GetAt(t.cfg.Root(), key) }
 
 // GetAt runs Get on the chain rooted at head.
 func (t *Thread) GetAt(head pmem.Addr, key uint64) (uint64, bool) {
-	cfg := &t.l.cfg
+	cfg := &t.cfg
 	pol := cfg.Policy
-	travP := t.l.travP()
+	travP := t.travP()
 	t.c.H.Enter()
 	defer t.c.H.Exit()
 	predLink := head

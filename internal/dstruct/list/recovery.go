@@ -46,8 +46,14 @@ func RebuildAt(cfg *dstruct.Config, t *pmem.Thread, ar *pheap.Arena, head pmem.A
 		t.Store(cfg.Field(n, fKey), keys[i])
 		t.Store(cfg.Field(n, fVal), pairs[keys[i]])
 		t.Store(cfg.Field(n, fNext), uint64(next))
-		for w := 0; w < cfg.Words(NumFields); w += pmem.WordsPerLine {
-			t.PWB(n + pmem.Addr(w))
+		// Flush every line the node covers, stepping line-ALIGNED (the
+		// same walk as core's persistObject) rather than line-SIZED from
+		// the node base: the old spelling covers a straddling node's tail
+		// line only by the accident of pheap's size-class alignment never
+		// producing one. Spell the invariant, don't inherit it.
+		end := n + pmem.Addr(cfg.Words(NumFields))
+		for a := n; a < end; a = (a + pmem.WordsPerLine) &^ (pmem.WordsPerLine - 1) {
+			t.PWB(a)
 		}
 		next = n
 	}

@@ -178,7 +178,24 @@ func (t *Thread) PWB(a Addr) {
 // line's current volatile content is copied, word by word, into the
 // persistent shadow — each line exactly once, however many PWBs targeted
 // it. After PFence returns, everything the thread flushed is durable.
-func (t *Thread) PFence() {
+func (t *Thread) PFence() { t.drain() }
+
+// Drain is the explicit batch-drain entry point for group commit: one
+// fence (counted as a PFence) that persists every line flushed since the
+// last fence, coalesced, and reports how many distinct lines it drained —
+// the amortization a batching server wants to observe per committed
+// batch. Semantically identical to PFence.
+func (t *Thread) Drain() int { return t.drain() }
+
+// LinePending reports whether the cache line containing a was flushed
+// since the thread's last fence and is still awaiting its drain. Software
+// that tracks its own flush window (the deferred batch skeleton in
+// internal/core) uses it to elide PWB instructions that hardware would
+// coalesce anyway: a pending line drains once, with its final contents,
+// at the next fence.
+func (t *Thread) LinePending(a Addr) bool { return t.wb.has(LineOf(a)) }
+
+func (t *Thread) drain() int {
 	t.Stats.PFences++
 	m := t.M
 	n := len(t.wb.lines)
@@ -203,6 +220,7 @@ func (t *Thread) PFence() {
 	t.wb.reset()
 	t.Stats.Drained += uint64(n)
 	t.charge(m.cfg.PFenceCost + n*m.cfg.PFenceEntryCost)
+	return n
 }
 
 // PendingLines returns a copy of the thread's un-fenced write-back

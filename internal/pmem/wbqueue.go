@@ -74,6 +74,23 @@ func (q *wbQueue) add(l Line) bool {
 	}
 }
 
+// has reports whether l is pending (flushed since the last fence).
+func (q *wbQueue) has(l Line) bool {
+	if q.slots == nil || len(q.lines) == 0 {
+		return false
+	}
+	mask := uint(len(q.slots) - 1)
+	for i := q.hash(l); ; i = (i + 1) & mask {
+		s := &q.slots[i]
+		if s.epoch != q.epoch {
+			return false
+		}
+		if s.line == l {
+			return true
+		}
+	}
+}
+
 // grow doubles the dedup table, re-inserting the pending lines. The
 // order buffer is untouched.
 func (q *wbQueue) grow() {

@@ -233,3 +233,39 @@ func TestVirtualClockPreservesDurability(t *testing.T) {
 		t.Fatalf("miss charged %d virtual units, want %d", th2.VirtualTime()-before, cfg2.MissCost)
 	}
 }
+
+// TestLinePendingAndDrain covers the group-commit entry points: pending
+// membership tracks PWB/fence, and Drain is a counted fence reporting
+// the coalesced line count.
+func TestLinePendingAndDrain(t *testing.T) {
+	m := New(DefaultConfig(1 << 10))
+	th := m.RegisterThread()
+	a, b := Addr(64), Addr(128)
+	if th.LinePending(a) {
+		t.Fatal("fresh thread reports a pending line")
+	}
+	th.Store(a, 1)
+	th.Store(a+1, 2)
+	th.Store(b, 3)
+	th.PWB(a)
+	th.PWB(a + 1) // same line: coalesced
+	th.PWB(b)
+	if !th.LinePending(a) || !th.LinePending(a+1) || !th.LinePending(b) {
+		t.Fatal("flushed lines not reported pending")
+	}
+	if th.LinePending(a + WordsPerLine) {
+		t.Fatal("untouched line reported pending")
+	}
+	if n := th.Drain(); n != 2 {
+		t.Fatalf("Drain returned %d lines, want 2", n)
+	}
+	if th.LinePending(a) || th.LinePending(b) {
+		t.Fatal("lines still pending after Drain")
+	}
+	if th.Stats.PFences != 1 {
+		t.Fatalf("Drain counted %d fences, want 1", th.Stats.PFences)
+	}
+	if m.PersistedWord(a) != 1 || m.PersistedWord(a+1) != 2 || m.PersistedWord(b) != 3 {
+		t.Fatal("Drain did not persist the pending lines")
+	}
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The wire protocol is a pipelined, length-prefixed binary framing over
+// any stream transport (TCP, unix sockets, net.Pipe). All integers are
+// little-endian. Responses are returned strictly in request order per
+// connection, so frames carry no sequence numbers — the pipeline is the
+// sequencing.
+//
+// Request frame:
+//
+//	u32 payloadLen | u8 op | body
+//	  GET/DELETE/CONTAINS: u16 keyLen | key
+//	  PUT:                 u16 keyLen | key | u64 value
+//	  PING/STATS:          (empty)
+//
+// Response frame:
+//
+//	u32 payloadLen | u8 status | body
+//	  GET:              value (u64) when StatusOK; empty when StatusNotFound
+//	  PUT/DELETE/CONTAINS: u8 flag (PUT: newly inserted; DELETE: existed;
+//	                       CONTAINS: present)
+//	  PING:             (empty)
+//	  STATS:            JSON (see Stats)
+//	  StatusErr:        error message (per-request from the executor, or a
+//	                    final best-effort frame for a malformed request —
+//	                    either way the server then closes the connection)
+
+// Opcodes.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDelete
+	OpContains
+	OpPing
+	OpStats
+)
+
+// Response statuses.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusErr      byte = 255
+)
+
+// Frame limits: keys are length-prefixed with 16 bits; the payload cap
+// bounds a malformed or hostile length prefix before any allocation.
+const (
+	MaxKeyLen   = 1<<16 - 1
+	MaxFrameLen = 1 << 20
+)
+
+// Request is one decoded client request.
+type Request struct {
+	Op  byte
+	Key []byte
+	Val uint64
+
+	// buf is ReadRequest's reused frame buffer; Key aliases it until the
+	// next ReadRequest on the same Request.
+	buf []byte
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status byte
+	Val    uint64 // GET value
+	Flag   bool   // PUT inserted / DELETE existed / CONTAINS present
+	Body   []byte // STATS JSON or error message
+
+	// buf is ReadResponse's reused frame buffer; Body aliases it until
+	// the next ReadResponse on the same Response.
+	buf []byte
+}
+
+// hasKey reports whether op carries a key field.
+func hasKey(op byte) bool {
+	return op == OpGet || op == OpPut || op == OpDelete || op == OpContains
+}
+
+// AppendRequest appends req's frame to dst and returns the extended
+// slice (allocation-free once dst has capacity).
+func AppendRequest(dst []byte, req *Request) []byte {
+	n := 1
+	if hasKey(req.Op) {
+		n += 2 + len(req.Key)
+		if req.Op == OpPut {
+			n += 8
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, req.Op)
+	if hasKey(req.Op) {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Key)))
+		dst = append(dst, req.Key...)
+		if req.Op == OpPut {
+			dst = binary.LittleEndian.AppendUint64(dst, req.Val)
+		}
+	}
+	return dst
+}
+
+// AppendResponse appends resp's frame for the given request opcode to
+// dst and returns the extended slice.
+func AppendResponse(dst []byte, op byte, resp *Response) []byte {
+	n := 1
+	switch {
+	case resp.Status == StatusErr, op == OpStats:
+		n += len(resp.Body)
+	case op == OpGet && resp.Status == StatusOK:
+		n += 8
+	case op == OpPut, op == OpDelete, op == OpContains:
+		n++
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, resp.Status)
+	switch {
+	case resp.Status == StatusErr, op == OpStats:
+		dst = append(dst, resp.Body...)
+	case op == OpGet && resp.Status == StatusOK:
+		dst = binary.LittleEndian.AppendUint64(dst, resp.Val)
+	case op == OpPut, op == OpDelete, op == OpContains:
+		b := byte(0)
+		if resp.Flag {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// readFrame reads one length-prefixed payload into buf (grown as
+// needed), returning the payload slice.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameLen {
+		return nil, fmt.Errorf("server: frame length %d outside (0,%d]", n, MaxFrameLen)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadRequest decodes the next request frame, reusing req.Key's backing
+// array when possible. The returned key aliases req.Key until the next
+// call.
+func ReadRequest(r *bufio.Reader, req *Request) error {
+	payload, err := readFrame(r, req.buf)
+	if err != nil {
+		return err
+	}
+	req.buf = payload
+	req.Key = payload[:0]
+	req.Op = payload[0]
+	req.Val = 0
+	body := payload[1:]
+	if !hasKey(req.Op) {
+		if req.Op != OpPing && req.Op != OpStats {
+			return fmt.Errorf("server: unknown opcode %d", req.Op)
+		}
+		if len(body) != 0 {
+			return fmt.Errorf("server: opcode %d carries %d unexpected body bytes", req.Op, len(body))
+		}
+		return nil
+	}
+	if len(body) < 2 {
+		return fmt.Errorf("server: truncated key header")
+	}
+	klen := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	want := klen
+	if req.Op == OpPut {
+		want += 8
+	}
+	if len(body) != want {
+		return fmt.Errorf("server: opcode %d body is %d bytes, want %d", req.Op, len(body), want)
+	}
+	req.Key = body[:klen]
+	if req.Op == OpPut {
+		req.Val = binary.LittleEndian.Uint64(body[klen:])
+	}
+	return nil
+}
+
+// ReadResponse decodes the next response frame for a request with the
+// given opcode, reusing resp.Body's backing array when possible.
+func ReadResponse(r *bufio.Reader, op byte, resp *Response) error {
+	payload, err := readFrame(r, resp.buf)
+	if err != nil {
+		return err
+	}
+	resp.buf = payload
+	resp.Status = payload[0]
+	resp.Val, resp.Flag, resp.Body = 0, false, payload[:0]
+	body := payload[1:]
+	switch {
+	case resp.Status == StatusErr, op == OpStats:
+		resp.Body = body
+	case op == OpGet && resp.Status == StatusOK:
+		if len(body) != 8 {
+			return fmt.Errorf("server: GET response body is %d bytes, want 8", len(body))
+		}
+		resp.Val = binary.LittleEndian.Uint64(body)
+	case op == OpPut, op == OpDelete, op == OpContains:
+		if len(body) != 1 {
+			return fmt.Errorf("server: flag response body is %d bytes, want 1", len(body))
+		}
+		resp.Flag = body[0] != 0
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+// Package server is the network front-end of FliT-Store: a pipelined
+// binary protocol (see protocol.go) whose request path is built around
+// group-commit durability batching.
+//
+// Every connection is served by one goroutine owning one
+// store.BatchSession. The handler drains the connection's pipeline —
+// everything already buffered, up to Options.MaxBatch — into a batch,
+// groups the batch per shard (stable order, so same-key requests keep
+// their pipeline order), executes it with persistence deferred
+// (core.Deferred), issues ONE fence for the whole batch via the
+// coalescing write-back queue, and only then writes the responses. The
+// ack rule is the durable-linearizability contract: a response frame
+// exists only for operations whose effects a single shared PFence has
+// already persisted, so "acknowledged ⇒ persisted" holds at every crash
+// point — verified systematically by the batched dlcheck battery
+// (internal/crashtest.RunStoreBatchedDL).
+//
+// Compared with per-operation persistence, the batch pays one completion
+// fence per pipeline instead of one per op, and its deferred stores
+// coalesce repeated flushes of hot lines — the fence- and
+// flush-amortization of flat-combining persistent designs, applied at
+// the service boundary.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"flit/internal/store"
+)
+
+// Options configures a server. Zero values pick defaults.
+type Options struct {
+	// MaxBatch caps the operations executed under one group commit
+	// (default 64). A connection's batch is min(pipelined, MaxBatch).
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	return o
+}
+
+// Stats is the server's cumulative operational snapshot, also the STATS
+// opcode's JSON body. The instruction counts cover the server's request
+// execution (each batcher folds its own thread's deltas into server
+// atomics after every batch — never a racy walk of live per-thread
+// counters), so pwbs/acked-op over a window is ΔPWBs/ΔOpsServed.
+type Stats struct {
+	Conns     uint64 `json:"conns"`      // connections accepted
+	OpsServed uint64 `json:"ops_served"` // store ops acknowledged
+	Batches   uint64 `json:"batches"`    // group commits issued
+	Drained   uint64 `json:"drained"`    // lines drained by group commits
+	MaxBatch  int    `json:"max_batch"`
+
+	Shards int    `json:"shards"`
+	Policy string `json:"policy"`
+
+	PWBs    uint64 `json:"pwbs"`    // PWB instructions issued serving requests
+	PFences uint64 `json:"pfences"` // PFence instructions issued serving requests
+}
+
+// Server serves a FliT-Store over the wire protocol.
+type Server struct {
+	st   *store.Store
+	opts Options
+
+	conns     atomic.Uint64
+	opsServed atomic.Uint64
+	batches   atomic.Uint64
+	drained   atomic.Uint64
+	pwbs      atomic.Uint64
+	pfences   atomic.Uint64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	open      map[net.Conn]struct{}
+	closed    bool
+
+	// idle pools batchers for reuse across connections: a pmem thread,
+	// its arena and its reclamation slots cannot be unregistered, so
+	// per-connection sessions would grow the registries with every
+	// connection ever accepted. Pooling bounds them at the peak
+	// concurrent connection count instead.
+	idleMu sync.Mutex
+	idle   []*Batcher
+}
+
+// New builds a server over st.
+func New(st *store.Store, opts Options) *Server {
+	return &Server{
+		st: st, opts: opts.withDefaults(),
+		listeners: make(map[net.Listener]struct{}),
+		open:      make(map[net.Conn]struct{}),
+	}
+}
+
+// Store returns the served store.
+func (s *Server) Store() *store.Store { return s.st }
+
+// Stats snapshots the server counters. Safe to call from any goroutine
+// at any time: every field is an atomic the batchers publish into —
+// reading the live per-thread instruction counters here would race with
+// the connection goroutines incrementing them.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Conns:     s.conns.Load(),
+		OpsServed: s.opsServed.Load(),
+		Batches:   s.batches.Load(),
+		Drained:   s.drained.Load(),
+		MaxBatch:  s.opts.MaxBatch,
+		Shards:    s.st.NumShards(),
+		Policy:    s.st.Opts().Policy,
+		PWBs:      s.pwbs.Load(),
+		PFences:   s.pfences.Load(),
+	}
+}
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until ln fails or the server is
+// closed, handling each connection on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		go s.ServeConn(c)
+	}
+}
+
+// Close stops all listeners and closes every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.open {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// track registers c for Close, returning false when the server is
+// already closed.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.open[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.open, c)
+	s.mu.Unlock()
+}
+
+// ServeConn serves one connection until EOF, a protocol error, or
+// Close. It is exported so tests and in-process benchmarks can serve
+// synthetic transports (net.Pipe) without a listener.
+func (s *Server) ServeConn(c net.Conn) {
+	defer c.Close()
+	if !s.track(c) {
+		return
+	}
+	defer s.untrack(c)
+	s.conns.Add(1)
+
+	b := s.getBatcher()
+	defer s.putBatcher(b)
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	reqs := make([]Request, s.opts.MaxBatch)
+	resps := make([]Response, s.opts.MaxBatch)
+	var out []byte
+	// bail answers a malformed request with a best-effort StatusErr
+	// frame (the diagnostic the protocol promises) before the deferred
+	// Close hangs up; after a framing error the stream offset is
+	// unreliable, so the connection cannot continue either way.
+	bail := func(err error) {
+		if err == nil || err == io.EOF {
+			return
+		}
+		resp := Response{Status: StatusErr, Body: []byte(err.Error())}
+		if _, werr := bw.Write(AppendResponse(nil, 0, &resp)); werr == nil {
+			bw.Flush()
+		}
+	}
+	for {
+		// Block for the pipeline's head, then drain what is already
+		// buffered — the group-commit window is "whatever the client
+		// managed to pipeline", capped at MaxBatch.
+		if err := ReadRequest(br, &reqs[0]); err != nil {
+			bail(err)
+			return
+		}
+		n := 1
+		for n < s.opts.MaxBatch && br.Buffered() > 0 {
+			if err := ReadRequest(br, &reqs[n]); err != nil {
+				bail(err)
+				return
+			}
+			n++
+		}
+		b.Exec(reqs[:n], resps[:n])
+		out = out[:0]
+		for i := 0; i < n; i++ {
+			out = AppendResponse(out, reqs[i].Op, &resps[i])
+		}
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if resps[i].Status == StatusErr {
+				return // protocol error: answered, then hang up
+			}
+		}
+	}
+}
+
+// Batcher executes request batches against one BatchSession with group
+// commit. One per connection (it is as single-goroutine as the session
+// it wraps); also the entry point the crash batteries drive directly,
+// bypassing sockets.
+type Batcher struct {
+	srv  *Server
+	bs   *store.BatchSession
+	bySh [][]int // per-shard request indices, reused across batches
+
+	// lastPWBs/lastPFences remember the session thread's counters at the
+	// previous publish, so each batch folds only its delta into the
+	// server atomics (the thread's counters are single-goroutine state;
+	// only this batcher reads them).
+	lastPWBs, lastPFences uint64
+}
+
+// NewBatcher registers a new batch executor (one BatchSession).
+func (s *Server) NewBatcher() *Batcher {
+	return &Batcher{
+		srv:  s,
+		bs:   s.st.NewBatchSession(),
+		bySh: make([][]int, s.st.NumShards()),
+	}
+}
+
+// getBatcher reuses a pooled batcher or registers a new one. A batcher
+// leaves the pool fully committed (every Exec ends in Commit), so
+// handing it to the next connection carries no deferred state.
+func (s *Server) getBatcher() *Batcher {
+	s.idleMu.Lock()
+	defer s.idleMu.Unlock()
+	if n := len(s.idle); n > 0 {
+		b := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		return b
+	}
+	return s.NewBatcher()
+}
+
+func (s *Server) putBatcher(b *Batcher) {
+	s.idleMu.Lock()
+	s.idle = append(s.idle, b)
+	s.idleMu.Unlock()
+}
+
+// Session exposes the underlying batch session (crash injection,
+// stats).
+func (b *Batcher) Session() *store.BatchSession { return b.bs }
+
+// Exec executes one pipeline batch: requests are grouped per shard in
+// stable order (same-key requests keep their pipeline order — one key
+// always maps to one shard), executed with persistence deferred, and
+// committed under a single fence before any response is materialized.
+// resps[i] answers reqs[i]; len(resps) must equal len(reqs).
+func (b *Batcher) Exec(reqs []Request, resps []Response) {
+	st := b.srv.st
+	for i := range b.bySh {
+		b.bySh[i] = b.bySh[i][:0]
+	}
+	storeOps := 0
+	for i := range reqs {
+		if hasKey(reqs[i].Op) {
+			sh := st.ShardOf(reqs[i].Key)
+			b.bySh[sh] = append(b.bySh[sh], i)
+			storeOps++
+		}
+	}
+	for _, idxs := range b.bySh {
+		for _, i := range idxs {
+			req, resp := &reqs[i], &resps[i]
+			resp.Status, resp.Val, resp.Flag, resp.Body = StatusOK, 0, false, nil
+			switch req.Op {
+			case OpGet:
+				v, ok := b.bs.GetBytes(req.Key)
+				if ok {
+					resp.Val = v
+				} else {
+					resp.Status = StatusNotFound
+				}
+			case OpPut:
+				resp.Flag = b.bs.PutBytes(req.Key, req.Val)
+			case OpDelete:
+				resp.Flag = b.bs.DeleteBytes(req.Key)
+			case OpContains:
+				resp.Flag = b.bs.ContainsBytes(req.Key)
+			}
+		}
+	}
+	// The group commit: after this fence — and only after it — the
+	// batch's results exist as far as any client can observe. A batch of
+	// pure PING/STATS frames touched nothing and commits nothing.
+	if storeOps > 0 {
+		drained := b.bs.Commit()
+		b.srv.batches.Add(1)
+		b.srv.opsServed.Add(uint64(storeOps))
+		b.srv.drained.Add(uint64(drained))
+		ts := &b.bs.Thread().Stats
+		b.srv.pwbs.Add(ts.PWBs - b.lastPWBs)
+		b.srv.pfences.Add(ts.PFences - b.lastPFences)
+		b.lastPWBs, b.lastPFences = ts.PWBs, ts.PFences
+	}
+	// Non-store opcodes are answered after the commit, preserving
+	// response order.
+	for i := range reqs {
+		if hasKey(reqs[i].Op) {
+			continue
+		}
+		resp := &resps[i]
+		resp.Status, resp.Val, resp.Flag, resp.Body = StatusOK, 0, false, nil
+		switch reqs[i].Op {
+		case OpPing:
+		case OpStats:
+			body, err := json.Marshal(b.srv.Stats())
+			if err != nil {
+				resp.Status = StatusErr
+				resp.Body = []byte(err.Error())
+				break
+			}
+			resp.Body = body
+		default:
+			// Unreachable from the wire (ReadRequest rejects unknown
+			// opcodes before Exec); guards direct Exec callers.
+			resp.Status = StatusErr
+			resp.Body = []byte(fmt.Sprintf("unknown opcode %d", reqs[i].Op))
+		}
+	}
+}

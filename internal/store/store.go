@@ -320,7 +320,21 @@ func (s *Session) ContainsBytes(key []byte) bool {
 }
 
 // Snapshot unions all shard snapshots, keyed by hashed key (test and
-// checker helper; callers must be quiescent).
+// checker helper).
+//
+// Concurrency contract: Snapshot is memory-safe against live sessions —
+// every word it reads goes through the simulated memory's atomic
+// volatile layer, so it never faults, tears a word, or trips the race
+// detector (asserted by TestSnapshotConcurrentMemorySafety under
+// -race). It is NOT linearizable against live sessions: the traversal
+// reads each chain at a different instant, so a concurrent snapshot can
+// mix states — observing a later operation's effect while missing an
+// earlier one's on another key — and may double- or under-count keys
+// moved by concurrent unlinks. Callers that need a consistent snapshot
+// (the crash checkers, recovery-key counting, any before/after
+// comparison) must quiesce first: every session's operations
+// happens-before the Snapshot call (e.g. via WaitGroup join), as the
+// crash harnesses do.
 func (s *Store) Snapshot() map[uint64]uint64 {
 	out := make(map[uint64]uint64)
 	for _, sh := range s.shards {
@@ -382,14 +396,32 @@ func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, Recovery
 	rs.Shards = make([]time.Duration, shards)
 	keys := make([]int, shards)
 	start := time.Now()
+	// Two-phase, with a global barrier between everyone's gather and
+	// anyone's rebuild: when the carried watermark is stale (the process
+	// crashed during a previous recovery before it could hand the newer
+	// watermark forward), a shard's fresh rebuild nodes can land on
+	// addresses still holding another shard's not-yet-gathered chains.
+	// Gathering writes nothing, so once every shard has its pairs in
+	// process memory the rebuilds may clobber those regions freely.
+	recovering := make([]*hashtable.Recovery, shards)
 	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			st.shards[i], keys[i] = hashtable.RecoverCount(st.cfgFor(1 + i))
+			recovering[i] = hashtable.BeginRecover(st.cfgFor(1 + i))
 			rs.Shards[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			st.shards[i], keys[i] = recovering[i].Complete()
+			rs.Shards[i] += time.Since(t0)
 		}(i)
 	}
 	wg.Wait()

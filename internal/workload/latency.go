@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/bits"
 	"time"
 )
@@ -12,6 +13,7 @@ import (
 type Hist struct {
 	counts []uint64
 	n      uint64
+	min    int64 // smallest recorded value; MaxInt64 while empty
 	max    int64
 }
 
@@ -23,7 +25,7 @@ const (
 )
 
 // NewHist creates an empty histogram.
-func NewHist() *Hist { return &Hist{counts: make([]uint64, histBuckets)} }
+func NewHist() *Hist { return &Hist{counts: make([]uint64, histBuckets), min: math.MaxInt64} }
 
 // index maps a nanosecond value to its bucket.
 func index(ns int64) int {
@@ -53,8 +55,14 @@ func value(i int) int64 {
 // Record adds one latency observation.
 func (h *Hist) Record(d time.Duration) {
 	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
 	h.counts[index(ns)]++
 	h.n++
+	if ns < h.min {
+		h.min = ns
+	}
 	if ns > h.max {
 		h.max = ns
 	}
@@ -66,6 +74,9 @@ func (h *Hist) Merge(o *Hist) {
 		h.counts[i] += c
 	}
 	h.n += o.n
+	if o.min < h.min {
+		h.min = o.min
+	}
 	if o.max > h.max {
 		h.max = o.max
 	}
@@ -74,11 +85,23 @@ func (h *Hist) Merge(o *Hist) {
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 { return h.n }
 
+// Min returns the smallest observation (0 when empty).
+func (h *Hist) Min() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
 // Max returns the largest observation.
 func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
 
 // Quantile returns the q-th quantile (q in [0,1]) as a duration, with
-// relative error bounded by the bucket width (~6%).
+// relative error bounded by the bucket width (~6%). The bucket's
+// upper-mid representative is clamped into [Min, Max]: with a handful
+// of samples, a midpoint can otherwise exceed every recorded
+// observation but the max (or undershoot them all), reporting a latency
+// nobody measured — the small-n edge the clamps close.
 func (h *Hist) Quantile(q float64) time.Duration {
 	if h.n == 0 {
 		return 0
@@ -100,6 +123,9 @@ func (h *Hist) Quantile(q float64) time.Duration {
 			v := value(i)
 			if v > h.max {
 				v = h.max
+			}
+			if v < h.min {
+				v = h.min
 			}
 			return time.Duration(v)
 		}

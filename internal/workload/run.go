@@ -22,7 +22,14 @@ type Spec struct {
 	Records uint64
 	// ScanMax bounds workload E's point-read bursts (default 16).
 	ScanMax int
-	Seed    int64
+	// Rate switches the runner to open-loop arrivals: operations are
+	// fired on a fixed schedule at Rate ops/s total (split evenly across
+	// threads) instead of back-to-back, and latency is measured from the
+	// scheduled arrival — queueing delay under overload is charged to
+	// the store, the coordinated-omission-free spelling. Zero keeps the
+	// closed loop.
+	Rate float64
+	Seed int64
 }
 
 // Result aggregates one run: throughput, tail latency, flush behaviour.
@@ -38,6 +45,9 @@ type Result struct {
 	P95 time.Duration `json:"p95_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+
+	// Rate echoes the open-loop arrival rate (0: closed loop).
+	Rate float64 `json:"rate,omitempty"`
 
 	Reads   uint64 `json:"reads"`
 	Updates uint64 `json:"updates"`
@@ -56,6 +66,22 @@ type Result struct {
 	// measured window (runtime mallocs delta / ops) — the runner's own
 	// overhead, which the zero-allocation op loop holds at ≈0.
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// OpenLoopSchedule computes one worker's slice of a fixed-rate global
+// arrival schedule: the step between the worker's own arrivals and its
+// staggered first-arrival offset, such that the union over workers is
+// evenly spaced at rate ops/s (not workers-sized lockstep bursts). The
+// step is clamped to >= 1ns — an absurd rate would otherwise truncate
+// it to zero and the schedule could never reach its deadline. Shared by
+// the in-process runner and the network load generator so the two
+// open-loop measurements stay comparable.
+func OpenLoopSchedule(rate float64, w, workers int) (step, offset time.Duration) {
+	step = time.Duration(float64(time.Second) * float64(workers) / rate)
+	if step < 1 {
+		step = 1
+	}
+	return step, time.Duration(w) * step / time.Duration(workers)
 }
 
 // Load bulk-inserts key indices [0, records) through threads parallel
@@ -150,8 +176,30 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 				keyBuf = AppendKey(keyBuf[:0], i)
 				return keyBuf
 			}
+			// Open loop: each worker owns every sp.Threads-th slot of the
+			// global arrival schedule; an op whose slot has not arrived
+			// yet waits, an op running late starts immediately and its
+			// queueing delay lands in the histogram.
+			var step time.Duration
+			var next time.Time
+			open := sp.Rate > 0
+			if open {
+				var off time.Duration
+				step, off = OpenLoopSchedule(sp.Rate, t, sp.Threads)
+				next = start.Add(off)
+			}
 			prev := time.Now()
-			for !prev.After(deadline) {
+			for {
+				if open {
+					if !next.Before(deadline) {
+						break
+					}
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				} else if prev.After(deadline) {
+					break
+				}
 				op := g.Next()
 				switch op.Kind {
 				case Read:
@@ -170,7 +218,12 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 					}
 				}
 				now := time.Now()
-				h.Record(now.Sub(prev))
+				if open {
+					h.Record(now.Sub(next))
+					next = next.Add(step)
+				} else {
+					h.Record(now.Sub(prev))
+				}
 				prev = now
 				kindCounts[op.Kind][t]++
 			}
@@ -194,7 +247,7 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 	}
 	stats := st.Mem().TotalStats()
 	res := Result{
-		Mix: sp.Mix, Dist: sp.Dist, Threads: sp.Threads,
+		Mix: sp.Mix, Dist: sp.Dist, Threads: sp.Threads, Rate: sp.Rate,
 		Elapsed: elapsed, Ops: all.Count(),
 		P50: all.Quantile(0.50), P95: all.Quantile(0.95), P99: all.Quantile(0.99), Max: all.Max(),
 		Reads:   sum(kindCounts[Read]),

@@ -55,6 +55,23 @@ type Mix struct {
 	Read, Update, Insert, RMW, Scan int
 }
 
+// Validate checks that the percentages are non-negative and sum to
+// exactly 100. Next classifies by cumulative thresholds over a draw in
+// [0,100), so an under-100 mix would silently send the remainder to
+// Scan and an over-100 mix would starve the trailing kinds — both are
+// configuration bugs, rejected at construction.
+func (m Mix) Validate() error {
+	for _, p := range []int{m.Read, m.Update, m.Insert, m.RMW, m.Scan} {
+		if p < 0 {
+			return fmt.Errorf("workload: mix %q has a negative percentage", m.Name)
+		}
+	}
+	if sum := m.Read + m.Update + m.Insert + m.RMW + m.Scan; sum != 100 {
+		return fmt.Errorf("workload: mix %q sums to %d%%, want 100%%", m.Name, sum)
+	}
+	return nil
+}
+
 // Mixes are the YCSB core workloads: A update-heavy, B read-heavy,
 // C read-only, D read-latest, E "scan"-heavy (see package comment),
 // F read-modify-write.
@@ -136,6 +153,8 @@ type Generator struct {
 	dist    string
 	rng     *rand.Rand
 	zipf    *rand.Zipf
+	zipfS   float64
+	zipfMax uint64 // the zipf's imax: draws cover [0, zipfMax]
 	limit   *atomic.Uint64
 	scanMax int
 }
@@ -143,7 +162,11 @@ type Generator struct {
 // NewGenerator builds a generator for mix over dist. records is the
 // initial keyspace size; limit (shared across threads, pre-set to
 // records) tracks growth from inserts. zipfS ≤ 1 selects DefaultZipfS.
+// The mix must sum to 100 (Mix.Validate).
 func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *atomic.Uint64, scanMax int, seed int64) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
 	if records == 0 {
 		return nil, fmt.Errorf("workload: empty keyspace")
 	}
@@ -154,11 +177,12 @@ func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *at
 		scanMax = 16
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := &Generator{mix: mix, dist: dist, rng: rng, limit: limit, scanMax: scanMax}
+	g := &Generator{mix: mix, dist: dist, rng: rng, zipfS: zipfS, limit: limit, scanMax: scanMax}
 	switch dist {
 	case DistUniform:
 	case DistZipfian, DistLatest:
-		g.zipf = rand.NewZipf(rng, zipfS, 1, records-1)
+		g.zipfMax = records - 1
+		g.zipf = rand.NewZipf(rng, zipfS, 1, g.zipfMax)
 	default:
 		return nil, fmt.Errorf("workload: unknown distribution %q (uniform|zipfian|latest)", dist)
 	}
@@ -196,6 +220,19 @@ func (g *Generator) Next() Op {
 // current keyspace.
 func (g *Generator) pick() uint64 {
 	n := g.limit.Load()
+	// Widen the zipf when inserts outgrow the sampled range: rand.Zipf
+	// draws from the fixed window [0, imax] set at construction, so a
+	// frozen range would leave scramble(z) % n able to reach only the
+	// original `records` distinct keys no matter how far the keyspace
+	// grows (YCSB-D/E would hammer a stale subset forever). Widening is
+	// geometric — regenerate at 2n — so the rebuild cost amortizes to
+	// O(log growth); between widenings the newest keys above zipfMax are
+	// reachable only through the modulo wrap, a bounded (< 2x) staleness
+	// the test suite pins.
+	if g.zipf != nil && n-1 > g.zipfMax {
+		g.zipfMax = 2*n - 1
+		g.zipf = rand.NewZipf(g.rng, g.zipfS, 1, g.zipfMax)
+	}
 	switch g.dist {
 	case DistZipfian:
 		// Scrambled zipfian, as YCSB does: the popularity ranks are
@@ -203,10 +240,12 @@ func (g *Generator) pick() uint64 {
 		// stresses contention, not one unlucky shard.
 		return scramble(g.zipf.Uint64()) % n
 	case DistLatest:
-		d := g.zipf.Uint64()
-		if d >= n {
-			d = n - 1
-		}
+		// Wrap instead of clamping: after widening, draws in [n, zipfMax]
+		// would otherwise all clamp to recency offset n-1 — piling a fake
+		// hotspot onto the oldest key (key 0). The wrapped tail mass is
+		// small and zipf-shaped over the whole range; below the widening
+		// threshold (zipfMax < n) the modulo is the identity.
+		d := g.zipf.Uint64() % n
 		return n - 1 - d
 	default:
 		return uint64(g.rng.Int63()) % n

@@ -230,3 +230,34 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 		t.Fatal("Run accepted unknown distribution")
 	}
 }
+
+// TestRunOpenLoop: the open-loop runner paces arrivals to the target
+// rate — throughput tracks the schedule, not the store's speed — and
+// still reports sane latency percentiles measured from the schedule.
+func TestRunOpenLoop(t *testing.T) {
+	st := newTestStore(t)
+	Load(st, 500, 2)
+	res, err := Run(st, Spec{
+		Mix: "b", Dist: DistUniform, Threads: 2,
+		Duration: 200 * time.Millisecond, Records: 500, Seed: 7,
+		Rate: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate != 2000 {
+		t.Fatalf("Result.Rate = %v, want 2000", res.Rate)
+	}
+	// 2000/s over 200ms ≈ 400 scheduled arrivals. Generous slack for
+	// scheduler jitter, but pacing must bind in both directions — the
+	// closed loop would run two orders of magnitude more ops here.
+	if res.Ops > 500 {
+		t.Fatalf("open loop ran %d ops at 2000/s over 200ms: pacing is not limiting", res.Ops)
+	}
+	if res.Ops < 100 {
+		t.Fatalf("open loop ran only %d ops at 2000/s over 200ms", res.Ops)
+	}
+	if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("implausible open-loop percentiles p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+}

@@ -5,10 +5,14 @@
 package flit_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func goTool(t *testing.T) string {
@@ -103,5 +107,84 @@ func TestFlitstoreCycleEndToEnd(t *testing.T) {
 	}
 	if c.Recovery == nil || c.Recovery.Shards != 8 || c.Recovery.Keys == 0 || c.Recovery.Ns <= 0 {
 		t.Fatalf("implausible recovery stats: %+v", c.Recovery)
+	}
+}
+
+// TestFlitstoredLoadgenEndToEnd boots the network daemon on a unix
+// socket, probes it with the load generator's ping, drives a short
+// pipelined run, and checks the server reports group-commit batching.
+// The binaries are built once and executed directly (not `go run`) so
+// signals reach the daemon and no orphaned grandchild can outlive the
+// test.
+func TestFlitstoredLoadgenEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	dir := t.TempDir()
+	if out, err := exec.Command(gobin, "build", "-o", dir, "./cmd/flitstored", "./cmd/flitload").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	stored := filepath.Join(dir, "flitstored")
+	load := filepath.Join(dir, "flitload")
+	sock := filepath.Join(dir, "flitstored.sock")
+
+	srv := exec.Command(stored, "-unix", sock, "-shards", "4", "-records", "1024", "-vclock")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { srv.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			srv.Process.Kill()
+			<-done
+		}
+		t.Logf("flitstored output:\n%s", srvOut.String())
+		if !strings.Contains(srvOut.String(), "served") {
+			t.Errorf("flitstored shutdown summary missing from output")
+		}
+	}()
+
+	// Await readiness via the liveness probe.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out, err := exec.Command(load, "-unix", sock, "-ping").CombinedOutput()
+		if err == nil && strings.Contains(string(out), "pong") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flitstored never became ready: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out, err := exec.Command(load,
+		"-unix", sock, "-mix", "a", "-dist", "zipfian", "-records", "1024",
+		"-conns", "2", "-depth", "16", "-duration", "200ms", "-json").Output()
+	if err != nil {
+		t.Fatalf("flitload failed: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+	}
+	var res struct {
+		Ops         uint64  `json:"ops"`
+		ServerOps   uint64  `json:"server_ops"`
+		Batches     uint64  `json:"server_batches"`
+		OpsPerBatch float64 `json:"ops_per_batch"`
+		PWBsPerOp   float64 `json:"pwbs_per_op"`
+		P50         int64   `json:"p50_ns"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("flitload output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.Ops == 0 || res.ServerOps == 0 || res.Batches == 0 {
+		t.Fatalf("no traffic recorded: %+v", res)
+	}
+	if res.OpsPerBatch <= 1.5 {
+		t.Fatalf("ops/batch = %.2f at depth 16: the server is not batching", res.OpsPerBatch)
+	}
+	if res.PWBsPerOp <= 0 || res.P50 <= 0 {
+		t.Fatalf("implausible run stats: %+v", res)
 	}
 }
