@@ -10,17 +10,29 @@
 //	flitload -addr 127.0.0.1:7117 -load -mix a -dist zipfian -depth 16 -duration 5s
 //	flitload -unix /tmp/flitstored.sock -mix c -conns 4 -rate 50000
 //	flitload -addr 127.0.0.1:7117 -ping
+//	flitload -scrape http://127.0.0.1:9117/metrics
+//
+// While a run is in flight a once-per-second progress line goes to
+// stderr (suppressed under -json); -live upgrades it to a combined
+// client+server line by polling STATS on a dedicated connection.
+// -scrape fetches a /metrics URL, validates the exposition with the
+// same parser the tests use, dumps the page to stdout and exits — the
+// CI scrape check with no extra dependencies.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"flit/internal/client"
+	"flit/internal/metrics"
+	"flit/internal/server"
 	"flit/internal/workload"
 )
 
@@ -38,8 +50,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	load := flag.Bool("load", false, "bulk-insert the keyspace over the wire before the run")
 	ping := flag.Bool("ping", false, "round-trip one PING and exit (liveness probe)")
-	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (silences progress lines)")
+	live := flag.Bool("live", false, "combined client+server progress lines (polls STATS on a dedicated connection)")
+	scrape := flag.String("scrape", "", "fetch this /metrics URL, validate the exposition, write it to stdout, and exit")
 	flag.Parse()
+
+	if *scrape != "" {
+		os.Exit(runScrape(*scrape))
+	}
 
 	network, target := "tcp", *addr
 	if *unixPath != "" {
@@ -70,11 +88,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flitload: loaded %d records in %v\n", *records, time.Since(t0).Round(time.Millisecond))
 	}
 
-	res, err := client.Run(dial, client.Spec{
+	sp := client.Spec{
 		Mix: *mix, Dist: *dist, ZipfS: *zipfS, Records: *records,
 		Conns: *conns, Depth: *depth, Rate: *rate,
 		Duration: *duration, Seed: *seed,
-	})
+	}
+	if !*jsonOut {
+		sp.Progress = progressPrinter(*live, network, target)
+	}
+	res, err := client.Run(dial, sp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flitload: %v\n", err)
 		os.Exit(1)
@@ -97,4 +119,77 @@ func main() {
 	fmt.Printf("  latency p50=%v p95=%v p99=%v max=%v\n", res.P50, res.P95, res.P99, res.Max)
 	fmt.Printf("  server: %d ops in %d batches (%.1f ops/batch), %.3f pwbs/op, %.3f pfences/op\n",
 		res.ServerOps, res.ServerBatches, res.OpsPerBatch, res.PWBsPerOp, res.PFencesPerOp)
+	if res.ServerP50 > 0 {
+		fmt.Printf("  server service time p50=%v p95=%v p99=%v max=%v, commit p99=%v\n",
+			res.ServerP50, res.ServerP95, res.ServerP99, res.ServerOpMax, res.ServerCommitP99)
+	}
+}
+
+// progressPrinter builds the Spec.Progress callback: one line per
+// second to stderr with the client-side view and — under -live — the
+// server-side interval costs polled over a dedicated STATS connection.
+// The callback runs on the load generator's monitor goroutine, so the
+// dedicated connection never races the workers.
+func progressPrinter(live bool, network, target string) func(client.Progress) {
+	var statsC *client.Conn
+	var prev server.Stats
+	if live {
+		if c, err := client.Dial(network, target); err == nil {
+			statsC = c
+			prev, _ = c.Stats()
+		} else {
+			fmt.Fprintf(os.Stderr, "flitload: -live stats connection: %v\n", err)
+		}
+	}
+	return func(p client.Progress) {
+		line := fmt.Sprintf("flitload: %6.1fs %9d ops %9.0f ops/s p50=%-9v p99=%-9v",
+			p.Elapsed.Seconds(), p.Ops, p.OpsPerSec, p.P50, p.P99)
+		if statsC != nil {
+			if st, err := statsC.Stats(); err == nil {
+				if dops := st.OpsServed - prev.OpsServed; dops > 0 {
+					line += fmt.Sprintf(" | server %.2f pwbs/op %.2f pfences/op %.1f ops/batch",
+						float64(st.PWBs-prev.PWBs)/float64(dops),
+						float64(st.PFences-prev.PFences)/float64(dops),
+						float64(dops)/max(1, float64(st.Batches-prev.Batches)))
+				}
+				if st.Metrics != nil {
+					line += fmt.Sprintf(" p99=%v", time.Duration(st.Metrics.OpP99Ns))
+				}
+				prev = st
+			} else {
+				statsC.Close()
+				statsC = nil
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// runScrape fetches url, validates the Prometheus exposition with the
+// shared parser, writes the page to stdout (the CI artifact) and a
+// summary to stderr. Exit status 1 marks an invalid page.
+func runScrape(url string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flitload: scrape: %v\n", err)
+		return 1
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flitload: scrape: read: %v\n", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "flitload: scrape: HTTP %d\n%s", resp.StatusCode, body)
+		return 1
+	}
+	os.Stdout.Write(body)
+	st, err := metrics.ValidateExposition(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flitload: scrape: invalid exposition: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "flitload: scrape ok: %d families, %d samples\n", st.Families, st.Samples)
+	return 0
 }

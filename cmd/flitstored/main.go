@@ -10,19 +10,32 @@
 //
 // The store lives in simulated persistent memory inside the process;
 // -records prefills the keyspace in-process before serving (the YCSB
-// load phase), so load generators can start on a warm store.
+// load phase), so load generators can start on a warm store. With
+// -recover the prefilled store is crash-simulated (unfenced write-backs
+// dropped) and rebuilt from its persistent image before serving, so the
+// recovery metrics on /metrics describe a real rebuild.
+//
+// Observability: metrics are on by default (-metrics=false turns the
+// lock-free core off). -metrics-addr serves a Prometheus-style /metrics
+// page over HTTP, -dash prints a once-per-second status line while
+// serving, and -stats-json writes the final counters (plus recovery
+// stats, if any) to a file on shutdown.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"flit/internal/core"
 	"flit/internal/dstruct"
+	"flit/internal/pmem"
 	"flit/internal/server"
 	"flit/internal/store"
 	"flit/internal/workload"
@@ -39,6 +52,11 @@ func main() {
 	batch := flag.Int("batch", 64, "max operations per group commit")
 	threads := flag.Int("load-threads", 4, "prefill parallelism")
 	vclock := flag.Bool("vclock", false, "virtual-clock cost mode (no spin latency)")
+	metricsOn := flag.Bool("metrics", true, "enable the lock-free metrics core (op histograms, STATS v2, /metrics histogram families)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus-style /metrics page over HTTP on this address")
+	dash := flag.Bool("dash", false, "print a once-per-second status line while serving (needs -metrics)")
+	statsJSON := flag.String("stats-json", "", "write final stats (and recovery stats, if any) as JSON to this path on shutdown")
+	recoverStore := flag.Bool("recover", false, "crash-simulate the prefilled store and serve the recovered image")
 	flag.Parse()
 
 	mode, ok := dstruct.ModeByName(*modeName)
@@ -58,6 +76,22 @@ func main() {
 		elapsed, ops := workload.Load(st, *records, *threads)
 		fmt.Printf("flitstored: loaded %d records in %v (%.0f ops/s)\n", *records, elapsed.Round(0), ops)
 	}
+	if *recoverStore {
+		// Crash the store the honest way — take the persistent image with
+		// unfenced write-backs dropped — and serve the rebuild, so the
+		// flit_recovery_seconds families describe a real recovery.
+		wm := st.Heap().Watermark()
+		img := st.Mem().CrashImage(pmem.DropUnfenced, 1)
+		mem2 := pmem.NewFromImage(img, st.Mem().Config())
+		st2, rs, err := store.Recover(mem2, wm, st.Opts())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flitstored: recover: %v\n", err)
+			os.Exit(2)
+		}
+		st = st2
+		fmt.Printf("flitstored: recovered %d keys in %v across %d shards\n",
+			rs.Keys, rs.Elapsed.Round(0), len(rs.Shards))
+	}
 
 	network, addr := "tcp", *listen
 	if *unixPath != "" {
@@ -69,7 +103,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flitstored: %v\n", err)
 		os.Exit(2)
 	}
-	srv := server.New(st, server.Options{MaxBatch: *batch})
+	srv := server.New(st, server.Options{MaxBatch: *batch, Metrics: *metricsOn})
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flitstored: metrics listener: %v\n", err)
+			os.Exit(2)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		metricsSrv = &http.Server{Handler: mux}
+		go metricsSrv.Serve(mln)
+		// Print the bound address so :0 is usable under test harnesses.
+		fmt.Printf("flitstored: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
+	stopDash := func() {}
+	if *dash {
+		ring, stop := srv.StartSampler(time.Second, 600)
+		if ring == nil {
+			fmt.Fprintln(os.Stderr, "flitstored: -dash needs -metrics")
+			os.Exit(2)
+		}
+		dashDone := make(chan struct{})
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-dashDone:
+					return
+				case <-tick.C:
+				}
+				if s, ok := ring.Last(); ok {
+					fmt.Printf("flitstored: %8.0f ops/s | p50 %v p99 %v | %.1f ops/batch | %.2f pwbs/op %.2f pfences/op | %d conns\n",
+						s.OpsPerSec, time.Duration(s.P50Ns).Round(time.Nanosecond),
+						time.Duration(s.P99Ns).Round(time.Nanosecond),
+						s.OpsPerBatch, s.PWBsPerOp, s.PFencesPerOp, s.Conns)
+				}
+			}
+		}()
+		stopDash = func() { close(dashDone); stop() }
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -81,10 +158,29 @@ func main() {
 	fmt.Printf("flitstored: serving %s/%s on %s://%s (batch %d)\n",
 		st.Opts().Policy, mode, network, ln.Addr(), *batch)
 	err = srv.Serve(ln)
+	stopDash()
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	stats := srv.Stats()
 	fmt.Printf("flitstored: served %d ops in %d batches over %d conns (%.1f ops/batch)\n",
 		stats.OpsServed, stats.Batches, stats.Conns,
 		float64(stats.OpsServed)/max(1, float64(stats.Batches)))
+	if *statsJSON != "" {
+		out := struct {
+			Stats    server.Stats         `json:"stats"`
+			Recovery *store.RecoveryStats `json:"recovery,omitempty"`
+		}{stats, st.LastRecovery()}
+		data, jerr := json.MarshalIndent(out, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(*statsJSON, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "flitstored: stats-json: %v\n", jerr)
+			os.Exit(1)
+		}
+		fmt.Printf("flitstored: wrote final stats to %s\n", *statsJSON)
+	}
 	if *unixPath != "" {
 		os.Remove(*unixPath)
 	}

@@ -279,7 +279,10 @@ func (m Matrix) runNet(rep *Report, c NetCell) error {
 		return err
 	}
 	workload.Load(st, c.Records, m.Threads)
-	srv := server.New(st, server.Options{})
+	// Metrics ride along in every net cell: the committed matrix numbers
+	// carry the observability cost, and the cross-check below holds the
+	// striped counters to the server's own acked-op count.
+	srv := server.New(st, server.Options{Metrics: true})
 	defer srv.Close()
 	dial := func() (net.Conn, error) {
 		cc, sc := net.Pipe()
@@ -316,6 +319,9 @@ func (m Matrix) runNet(rep *Report, c NetCell) error {
 		p50Sum += r.P50.Nanoseconds()
 		p95Sum += r.P95.Nanoseconds()
 		p99Sum += r.P99.Nanoseconds()
+	}
+	if got, want := srv.Metrics().OpsTotal(), srv.Stats().OpsServed; got != want {
+		return fmt.Errorf("bench: metrics op counters sum to %d, server acked %d", got, want)
 	}
 	n := int64(m.Repeats)
 	id := c.ID()

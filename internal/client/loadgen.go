@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flit/internal/metrics"
 	"flit/internal/server"
 	"flit/internal/workload"
 )
@@ -37,6 +38,24 @@ type Spec struct {
 	Rate     float64       // open-loop total ops/s; 0 selects closed loop
 	Duration time.Duration // measured window
 	Seed     int64
+
+	// Progress, when set, is called about once per ProgressEvery
+	// (default 1s) from a monitor goroutine with a live snapshot of the
+	// run. The workers record into one shared lock-free histogram
+	// (internal/metrics), so the monitor reads without stopping them.
+	Progress      func(Progress)
+	ProgressEvery time.Duration
+}
+
+// Progress is one live snapshot of a running load generation, delivered
+// to Spec.Progress. Ops is cumulative; the rate and quantiles cover the
+// interval since the previous callback.
+type Progress struct {
+	Elapsed   time.Duration // since the measured window opened
+	Ops       uint64        // operations completed so far
+	OpsPerSec float64       // interval throughput
+	P50       time.Duration // interval client-observed latency
+	P99       time.Duration
 }
 
 // Result aggregates one run: client-observed throughput and latency,
@@ -73,6 +92,18 @@ type Result struct {
 	PWBsPerOp     float64 `json:"pwbs_per_op"`
 	PFencesPerOp  float64 `json:"pfences_per_op"`
 	OpsPerBatch   float64 `json:"ops_per_batch"`
+
+	// Server-side op service-time quantiles from the STATS v2 metrics
+	// block — cumulative over the server's lifetime, zero when the
+	// server runs without its metrics core. Service time excludes the
+	// shared group-commit fence (visible separately as ServerCommitP99),
+	// so these sit far below the client round-trip quantiles: the gap is
+	// queueing plus the fence.
+	ServerP50       time.Duration `json:"server_p50_ns,omitempty"`
+	ServerP95       time.Duration `json:"server_p95_ns,omitempty"`
+	ServerP99       time.Duration `json:"server_p99_ns,omitempty"`
+	ServerOpMax     time.Duration `json:"server_op_max_ns,omitempty"`
+	ServerCommitP99 time.Duration `json:"server_commit_p99_ns,omitempty"`
 }
 
 // Load bulk-inserts key indices [0, records) through conns pipelined
@@ -235,12 +266,56 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 		return Result{}, err
 	}
 
-	hists := make([]*workload.Hist, sp.Conns)
+	// All workers record into one shared lock-free histogram so the
+	// progress monitor (and nothing else) can read mid-run without
+	// synchronizing with the hot path.
+	shared := metrics.NewHist()
 	kinds := make([][5]uint64, sp.Conns)
 	errs := make([]error, sp.Conns)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(sp.Duration)
+
+	monDone := make(chan struct{})
+	var monWG sync.WaitGroup
+	if sp.Progress != nil {
+		every := sp.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			var prev metrics.HistSnapshot
+			prevT := start
+			for {
+				select {
+				case <-monDone:
+					return
+				case <-tick.C:
+				}
+				var cur metrics.HistSnapshot
+				shared.Read(&cur)
+				now := time.Now()
+				interval := cur
+				interval.Sub(&prev)
+				p := Progress{
+					Elapsed: now.Sub(start),
+					Ops:     cur.Count,
+					P50:     time.Duration(interval.Quantile(0.50)),
+					P99:     time.Duration(interval.Quantile(0.99)),
+				}
+				if dt := now.Sub(prevT).Seconds(); dt > 0 {
+					p.OpsPerSec = float64(interval.Count) / dt
+				}
+				sp.Progress(p)
+				prev, prevT = cur, now
+			}
+		}()
+	}
+
 	for w := 0; w < sp.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -252,17 +327,17 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 			}
 			c := New(nc)
 			defer c.Close()
-			h := workload.NewHist()
-			hists[w] = h
 			if sp.Rate > 0 {
-				errs[w] = runOpen(c, gens[w], &limit, h, &kinds[w], deadline, sp.Rate, w, sp.Conns)
+				errs[w] = runOpen(c, gens[w], &limit, shared, &kinds[w], deadline, sp.Rate, w, sp.Conns)
 			} else {
-				errs[w] = runClosed(c, gens[w], &limit, h, &kinds[w], deadline, sp.Depth)
+				errs[w] = runClosed(c, gens[w], &limit, shared, &kinds[w], deadline, sp.Depth)
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(monDone)
+	monWG.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return Result{}, err
@@ -273,20 +348,19 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 		return Result{}, err
 	}
 
-	all := workload.NewHist()
+	var all metrics.HistSnapshot
+	shared.Read(&all)
 	var kindSum [5]uint64
-	for w := range hists {
-		if hists[w] != nil {
-			all.Merge(hists[w])
-		}
+	for w := range kinds {
 		for k, n := range kinds[w] {
 			kindSum[k] += n
 		}
 	}
 	res := Result{
 		Mix: sp.Mix, Dist: sp.Dist, Conns: sp.Conns, Depth: sp.Depth, Rate: sp.Rate,
-		Elapsed: elapsed, Ops: all.Count(),
-		P50: all.Quantile(0.50), P95: all.Quantile(0.95), P99: all.Quantile(0.99), Max: all.Max(),
+		Elapsed: elapsed, Ops: all.Count,
+		P50: time.Duration(all.Quantile(0.50)), P95: time.Duration(all.Quantile(0.95)),
+		P99: time.Duration(all.Quantile(0.99)), Max: time.Duration(all.MaxNs),
 		Reads:   kindSum[workload.Read],
 		Updates: kindSum[workload.Update],
 		Inserts: kindSum[workload.Insert],
@@ -308,13 +382,20 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 	if res.ServerBatches > 0 {
 		res.OpsPerBatch = float64(res.ServerOps) / float64(res.ServerBatches)
 	}
+	if m := after.Metrics; m != nil {
+		res.ServerP50 = time.Duration(m.OpP50Ns)
+		res.ServerP95 = time.Duration(m.OpP95Ns)
+		res.ServerP99 = time.Duration(m.OpP99Ns)
+		res.ServerOpMax = time.Duration(m.OpMaxNs)
+		res.ServerCommitP99 = time.Duration(m.CommitP99Ns)
+	}
 	return res, nil
 }
 
 // runClosed is the closed-loop worker: fill a Depth-frame window, flush
 // once, read it back, recording one latency per logical operation.
 func runClosed(c *Conn, g *workload.Generator, limit *atomic.Uint64,
-	h *workload.Hist, kinds *[5]uint64, deadline time.Time, depth int) error {
+	h *metrics.Hist, kinds *[5]uint64, deadline time.Time, depth int) error {
 	keyBuf := make([]byte, 0, 32)
 	winOps := make([]workload.Op, 0, depth)
 	for time.Now().Before(deadline) {
@@ -355,7 +436,7 @@ type openMeta struct {
 // their scheduled arrival times; the receiver records latency from the
 // schedule, not from the send — queueing is part of the measurement.
 func runOpen(c *Conn, g *workload.Generator, limit *atomic.Uint64,
-	h *workload.Hist, kinds *[5]uint64, deadline time.Time, rate float64, w, conns int) error {
+	h *metrics.Hist, kinds *[5]uint64, deadline time.Time, rate float64, w, conns int) error {
 	if rate <= 0 {
 		return fmt.Errorf("client: open loop needs a positive rate")
 	}

@@ -14,7 +14,7 @@ import (
 
 // pipeDialer boots an in-process server and returns a dialer minting
 // net.Pipe connections served by it.
-func pipeDialer(t *testing.T) (*server.Server, func() (net.Conn, error)) {
+func pipeDialer(t *testing.T, opts server.Options) (*server.Server, func() (net.Conn, error)) {
 	t.Helper()
 	st, err := store.New(store.Options{
 		Shards: 4, ExpectedKeys: 1 << 12, Policy: core.PolicyHT,
@@ -23,7 +23,7 @@ func pipeDialer(t *testing.T) (*server.Server, func() (net.Conn, error)) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(st, server.Options{})
+	srv := server.New(st, opts)
 	t.Cleanup(func() { srv.Close() })
 	return srv, func() (net.Conn, error) {
 		cc, sc := net.Pipe()
@@ -35,7 +35,7 @@ func pipeDialer(t *testing.T) (*server.Server, func() (net.Conn, error)) {
 // TestLoadAndRunClosedLoop: the wire load phase populates the store,
 // and a closed-loop run at depth 16 forms multi-op server batches.
 func TestLoadAndRunClosedLoop(t *testing.T) {
-	srv, dial := pipeDialer(t)
+	srv, dial := pipeDialer(t, server.Options{})
 	const records = 512
 	if err := client.Load(dial, records, 2, 16); err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestLoadAndRunClosedLoop(t *testing.T) {
 // TestRunOpenLoop: the fixed-rate arrival mode paces operations and
 // measures from the schedule.
 func TestRunOpenLoop(t *testing.T) {
-	_, dial := pipeDialer(t)
+	_, dial := pipeDialer(t, server.Options{})
 	if err := client.Load(dial, 256, 1, 16); err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +96,64 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunProgressAndServerQuantiles: against a metrics-enabled server,
+// the monitor goroutine delivers live Progress snapshots and the final
+// Result carries the server-side service-time quantiles from STATS v2.
+func TestRunProgressAndServerQuantiles(t *testing.T) {
+	_, dial := pipeDialer(t, server.Options{Metrics: true})
+	if err := client.Load(dial, 256, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []client.Progress
+	res, err := client.Run(dial, client.Spec{
+		Mix: "a", Dist: workload.DistUniform, Records: 256,
+		Conns: 2, Depth: 8, Duration: 150 * time.Millisecond, Seed: 7,
+		Progress:      func(p client.Progress) { snaps = append(snaps, p) },
+		ProgressEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("monitor delivered %d progress snapshots over 150ms at 20ms", len(snaps))
+	}
+	var sawRate bool
+	for i, p := range snaps {
+		if i > 0 && p.Ops < snaps[i-1].Ops {
+			t.Fatalf("cumulative ops went backwards: %+v after %+v", p, snaps[i-1])
+		}
+		if i > 0 && p.Elapsed <= snaps[i-1].Elapsed {
+			t.Fatalf("elapsed not increasing at snapshot %d", i)
+		}
+		if p.OpsPerSec > 0 {
+			sawRate = true
+			if p.P99 < p.P50 {
+				t.Fatalf("interval quantiles out of order: %+v", p)
+			}
+		}
+	}
+	if !sawRate {
+		t.Fatal("no progress snapshot observed a positive op rate")
+	}
+	if last := snaps[len(snaps)-1]; last.Ops > res.Ops {
+		t.Fatalf("last snapshot saw %d ops, final result %d", last.Ops, res.Ops)
+	}
+	if res.ServerP50 <= 0 || res.ServerP99 < res.ServerP50 || res.ServerOpMax < res.ServerP99 {
+		t.Fatalf("server-side quantiles missing or out of order: %+v", res)
+	}
+	if res.ServerCommitP99 <= 0 {
+		t.Fatalf("server commit p99 missing: %+v", res)
+	}
+	if res.ServerP99 > res.P99 {
+		t.Fatalf("server service time p99 %v exceeds client round-trip p99 %v", res.ServerP99, res.P99)
+	}
+}
+
 // TestRunScanAndRMWFrames: mixes expanding ops to multiple frames (E's
 // scan bursts, F's GET+PUT) stay in protocol sync end to end.
 func TestRunScanAndRMWFrames(t *testing.T) {
 	for _, mix := range []string{"e", "f"} {
-		_, dial := pipeDialer(t)
+		_, dial := pipeDialer(t, server.Options{})
 		if err := client.Load(dial, 256, 1, 16); err != nil {
 			t.Fatal(err)
 		}

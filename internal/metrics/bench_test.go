@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The hot-path cost contract: recording is a handful of atomic adds,
+// zero allocations. TestHotPathZeroAlloc pins the allocation count to
+// zero; these pin the cycle cost so a regression shows up in -bench
+// diffs. Run with -benchmem to see the 0 B/op alongside.
+
+func BenchmarkHistRecord(b *testing.B) {
+	h := NewHist()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordNs(int64(i&0xffff) + 1)
+	}
+}
+
+func BenchmarkHistRecordParallel(b *testing.B) {
+	h := NewHist()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.RecordNs(i&0xffff + 1)
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(3)
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	var c Counter
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		stripe := int(next.Add(1) - 1)
+		for pb.Next() {
+			c.Inc(stripe)
+		}
+	})
+}
+
+func BenchmarkHistRead(b *testing.B) {
+	h := NewHist()
+	for i := 0; i < 1<<16; i++ {
+		h.RecordNs(int64(i) + 1)
+	}
+	var s HistSnapshot
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Read(&s)
+	}
+}

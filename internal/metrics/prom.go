@@ -1,0 +1,349 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4: `# HELP` / `# TYPE` comments followed by `name{labels} value`
+// samples). It is the cold path — a scrape, not an op — so it favors
+// clarity over allocation thrift. Errors are sticky: the first write
+// failure is remembered and returned by Flush, so call sites can emit
+// the whole page unconditionally.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Meta writes the HELP/TYPE header for a metric family. Call once per
+// family, before its samples; typ is "counter", "gauge" or "histogram".
+func (p *PromWriter) Meta(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample line. labels is the pre-rendered inner label
+// list (`op="get"`) or "" for none.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, formatFloat(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// Histogram writes a full histogram family body from a snapshot:
+// cumulative `le` buckets at the log-bucket upper edges (only edges
+// whose bucket holds observations — the le set of a Prometheus
+// histogram is free, and 1024 mostly-empty lines would bury a scrape),
+// the `+Inf` bucket, `_sum` and `_count`. scale converts recorded
+// units to the exposition unit (1e-9 for ns → seconds, 1 for counts).
+// labels is the shared inner label list or "".
+func (p *PromWriter) Histogram(name, labels string, s *HistSnapshot, scale float64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(BucketUpperBound(i)) * scale
+		p.printf("%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, formatFloat(le), cum)
+	}
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	p.Sample(name+"_sum", labels, float64(s.Sum)*scale)
+	p.printf("%s_count", name)
+	if labels != "" {
+		p.printf("{%s}", labels)
+	}
+	p.printf(" %d\n", s.Count)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// formatFloat renders a value the exposition format accepts: shortest
+// round-trip representation, integers without an exponent where
+// possible.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpositionStats summarizes a validated exposition page.
+type ExpositionStats struct {
+	Families int // # TYPE declarations
+	Samples  int // sample lines
+}
+
+// ValidateExposition parses a Prometheus text exposition page and
+// checks the invariants a scraper relies on:
+//
+//   - every sample's family has a preceding # TYPE of a known type
+//     (histogram samples resolve _bucket/_sum/_count to their family);
+//   - metric names and label syntax are well-formed, values parse;
+//   - histogram bucket series are cumulative: le values strictly
+//     increase, counts never decrease, the +Inf bucket is present and
+//     equals the family's _count for the same label set.
+//
+// It is the test helper behind the -race hammer test, the CI scrape
+// check and `flitload -scrape`.
+func ValidateExposition(data []byte) (ExpositionStats, error) {
+	var st ExpositionStats
+	types := map[string]string{}
+	// histogram bucket tracking per family + non-le label set
+	type series struct {
+		lastLe  float64
+		lastCum uint64
+		haveInf bool
+		infVal  uint64
+	}
+	buckets := map[string]*series{}
+	counts := map[string]uint64{} // _count samples per family+labels
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && (f[1] == "HELP" || f[1] == "TYPE") && len(f) < 4 {
+				return st, fmt.Errorf("line %d: truncated %s comment", lineNo, f[1])
+			}
+			if len(f) >= 4 && f[1] == "TYPE" {
+				name, typ := f[2], f[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return st, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return st, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = typ
+				st.Families++
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		st.Samples++
+		fam, suffix := name, ""
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				fam, suffix = base, suf
+				break
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return st, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if typ == "histogram" && suffix == "" {
+			return st, fmt.Errorf("line %d: bare sample %s of histogram family", lineNo, name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		le, rest, hasLe := splitLe(labels)
+		key := fam + "{" + rest + "}"
+		switch suffix {
+		case "_bucket":
+			if !hasLe {
+				return st, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			s := buckets[key]
+			if s == nil {
+				s = &series{lastLe: math.Inf(-1)}
+				buckets[key] = s
+			}
+			cum := uint64(value)
+			if le == "+Inf" {
+				s.haveInf, s.infVal = true, cum
+				if cum < s.lastCum {
+					return st, fmt.Errorf("line %d: +Inf bucket %d below prior bucket %d", lineNo, cum, s.lastCum)
+				}
+				break
+			}
+			lv, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return st, fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+			}
+			if lv <= s.lastLe {
+				return st, fmt.Errorf("line %d: le %q not increasing (prev %v)", lineNo, le, s.lastLe)
+			}
+			if cum < s.lastCum {
+				return st, fmt.Errorf("line %d: bucket count %d below prior %d — not cumulative", lineNo, cum, s.lastCum)
+			}
+			s.lastLe, s.lastCum = lv, cum
+		case "_count":
+			counts[key] = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := buckets[k]
+		if !s.haveInf {
+			return st, fmt.Errorf("histogram series %s has no +Inf bucket", k)
+		}
+		n, ok := counts[k]
+		if !ok {
+			return st, fmt.Errorf("histogram series %s has no _count", k)
+		}
+		if n != s.infVal {
+			return st, fmt.Errorf("histogram series %s: _count %d != +Inf bucket %d", k, n, s.infVal)
+		}
+	}
+	return st, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional). The label
+// body is returned raw; splitLe digs out le when needed.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		f := strings.IndexAny(rest, " \t")
+		if f < 0 {
+			return "", "", 0, fmt.Errorf("sample has no value")
+		}
+		name = rest[:f]
+		rest = strings.TrimSpace(rest[f:])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	if err := validLabels(labels); err != nil {
+		return "", "", 0, err
+	}
+	// A timestamp may follow the value; the repo never emits one, but a
+	// parser helper should not choke on the format's option.
+	if f := strings.IndexAny(rest, " \t"); f >= 0 {
+		rest = rest[:f]
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLe extracts the le label, returning the remaining label body in
+// original order.
+func splitLe(labels string) (le, rest string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	parts := splitLabelPairs(labels)
+	kept := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if v, found := strings.CutPrefix(p, `le="`); found {
+			le, ok = strings.TrimSuffix(v, `"`), true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ","), ok
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabels(labels string) error {
+	if labels == "" {
+		return nil
+	}
+	for _, p := range splitLabelPairs(labels) {
+		k, v, found := strings.Cut(p, "=")
+		if !found {
+			return fmt.Errorf("label pair %q has no =", p)
+		}
+		if !validMetricName(k) || strings.Contains(k, ":") {
+			return fmt.Errorf("bad label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %q not quoted", v)
+		}
+	}
+	return nil
+}

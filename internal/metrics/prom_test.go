@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// page renders a representative exposition: counters with and without
+// labels, a gauge, and a labeled histogram.
+func page(t *testing.T) []byte {
+	t.Helper()
+	h := NewHist()
+	for i := int64(0); i < 10_000; i++ {
+		h.RecordNs(i * 797)
+	}
+	var s HistSnapshot
+	h.Read(&s)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Meta("flit_ops_total", "counter", "acked store operations")
+	p.Sample("flit_ops_total", `op="get"`, 123)
+	p.Sample("flit_ops_total", `op="put"`, 456)
+	p.Meta("flit_conns_open", "gauge", "open connections")
+	p.Sample("flit_conns_open", "", 7)
+	p.Meta("flit_op_seconds", "histogram", "op service time")
+	p.Histogram("flit_op_seconds", `op="get"`, &s, 1e-9)
+	p.Meta("flit_batch_ops", "histogram", "ops per group commit")
+	p.Histogram("flit_batch_ops", "", &s, 1)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestExpositionRoundTrip writes a page with the PromWriter and
+// validates it with the parser — the writer and the checker must agree
+// on the format.
+func TestExpositionRoundTrip(t *testing.T) {
+	data := page(t)
+	st, err := ValidateExposition(data)
+	if err != nil {
+		t.Fatalf("validate: %v\npage:\n%s", err, data)
+	}
+	if st.Families != 4 {
+		t.Fatalf("families = %d, want 4", st.Families)
+	}
+	if st.Samples < 10 {
+		t.Fatalf("samples = %d, implausibly few", st.Samples)
+	}
+	for _, want := range []string{
+		`flit_op_seconds_bucket{op="get",le="+Inf"} 10000`,
+		"flit_op_seconds_count{op=\"get\"} 10000",
+		"flit_batch_ops_count 10000",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("page missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestValidateRejects feeds the validator the malformations it exists
+// to catch.
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE": `flit_x_total 3`,
+		"unknown type": `# TYPE flit_x woble
+flit_x 3`,
+		"bad value": `# TYPE flit_x gauge
+flit_x abc`,
+		"bad name": `# TYPE flit_x gauge
+9flit{} 3`,
+		"unquoted label": `# TYPE flit_x gauge
+flit_x{op=get} 3`,
+		"non-cumulative buckets": `# TYPE flit_h histogram
+flit_h_bucket{le="0.1"} 5
+flit_h_bucket{le="0.2"} 3
+flit_h_bucket{le="+Inf"} 5
+flit_h_sum 1
+flit_h_count 5`,
+		"non-increasing le": `# TYPE flit_h histogram
+flit_h_bucket{le="0.2"} 3
+flit_h_bucket{le="0.1"} 5
+flit_h_bucket{le="+Inf"} 5
+flit_h_sum 1
+flit_h_count 5`,
+		"missing +Inf": `# TYPE flit_h histogram
+flit_h_bucket{le="0.1"} 5
+flit_h_sum 1
+flit_h_count 5`,
+		"count mismatch": `# TYPE flit_h histogram
+flit_h_bucket{le="0.1"} 5
+flit_h_bucket{le="+Inf"} 5
+flit_h_sum 1
+flit_h_count 6`,
+		"bucket without le": `# TYPE flit_h histogram
+flit_h_bucket{op="get"} 5`,
+	}
+	for name, body := range cases {
+		if _, err := ValidateExposition([]byte(body)); err == nil {
+			t.Errorf("%s: validator accepted:\n%s", name, body)
+		}
+	}
+}
+
+// TestValidateAcceptsLabeledSeries checks that two label sets of one
+// histogram family are tracked independently.
+func TestValidateAcceptsLabeledSeries(t *testing.T) {
+	body := `# TYPE flit_h histogram
+flit_h_bucket{op="get",le="0.1"} 5
+flit_h_bucket{op="get",le="+Inf"} 5
+flit_h_sum{op="get"} 1
+flit_h_count{op="get"} 5
+flit_h_bucket{op="put",le="0.1"} 2
+flit_h_bucket{op="put",le="+Inf"} 3
+flit_h_sum{op="put"} 1
+flit_h_count{op="put"} 3
+`
+	if _, err := ValidateExposition([]byte(body)); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}

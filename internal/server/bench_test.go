@@ -1,0 +1,47 @@
+package server_test
+
+import (
+	"testing"
+
+	"flit/internal/core"
+	"flit/internal/server"
+	"flit/internal/store"
+	"flit/internal/workload"
+)
+
+// benchExec measures the batch executor on a depth-16 mixed window,
+// with and without the metrics bundle — the difference is the
+// observability tax on the hot path (a few atomic adds and one
+// time.Now per op).
+func benchExec(b *testing.B, metricsOn bool) {
+	st, err := store.New(store.Options{
+		Shards: 4, ExpectedKeys: 1 << 12, Policy: core.PolicyHT,
+		HTBytes: 1 << 16, VirtualClock: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(st, server.Options{Metrics: metricsOn})
+	defer srv.Close()
+	bt := srv.NewBatcher()
+
+	const depth = 16
+	reqs := make([]server.Request, depth)
+	resps := make([]server.Response, depth)
+	for i := range reqs {
+		key := workload.AppendKey(nil, uint64(i))
+		if i%2 == 0 {
+			reqs[i] = server.Request{Op: server.OpPut, Key: key, Val: uint64(i)}
+		} else {
+			reqs[i] = server.Request{Op: server.OpGet, Key: key}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Exec(reqs, resps)
+	}
+}
+
+func BenchmarkServerExecMetricsOn(b *testing.B)  { benchExec(b, true) }
+func BenchmarkServerExecMetricsOff(b *testing.B) { benchExec(b, false) }

@@ -27,7 +27,12 @@ import (
 //	  PUT/DELETE/CONTAINS: u8 flag (PUT: newly inserted; DELETE: existed;
 //	                       CONTAINS: present)
 //	  PING:             (empty)
-//	  STATS:            JSON (see Stats)
+//	  STATS:            JSON (see Stats; the "v" field carries
+//	                    StatsVersion — v2 adds the optional "metrics"
+//	                    summary block when the server's metrics core is
+//	                    enabled. JSON keeps the versions mutually
+//	                    compatible: unknown fields are ignored, missing
+//	                    ones stay zero.)
 //	  StatusErr:        error message (per-request from the executor, or a
 //	                    final best-effort frame for a malformed request —
 //	                    either way the server then closes the connection)

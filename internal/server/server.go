@@ -31,7 +31,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"flit/internal/metrics"
 	"flit/internal/store"
 )
 
@@ -40,6 +42,12 @@ type Options struct {
 	// MaxBatch caps the operations executed under one group commit
 	// (default 64). A connection's batch is min(pipelined, MaxBatch).
 	MaxBatch int
+	// Metrics enables the observability layer (see metrics.go): per-op
+	// latency histograms, striped op counters, batch-shape histograms,
+	// the /metrics exposition page's histogram families, the STATS v2
+	// summary and the timeseries sampler. Off, the hot path pays one
+	// nil check per batch and those consumers degrade gracefully.
+	Metrics bool
 }
 
 func (o Options) withDefaults() Options {
@@ -49,12 +57,22 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// StatsVersion is the STATS snapshot format version. v1 was the bare
+// counter set; v2 added the Version field itself and the optional
+// Metrics summary (server-side latency quantiles and batch-shape
+// distribution). The body is JSON, so the versions are mutually
+// forward- and backward-compatible: old clients ignore the new fields,
+// new clients treat a missing Metrics block as "server has metrics
+// disabled" (or a v1 server).
+const StatsVersion = 2
+
 // Stats is the server's cumulative operational snapshot, also the STATS
 // opcode's JSON body. The instruction counts cover the server's request
 // execution (each batcher folds its own thread's deltas into server
 // atomics after every batch — never a racy walk of live per-thread
 // counters), so pwbs/acked-op over a window is ΔPWBs/ΔOpsServed.
 type Stats struct {
+	Version   int    `json:"v"`          // StatsVersion of the emitting server
 	Conns     uint64 `json:"conns"`      // connections accepted
 	OpsServed uint64 `json:"ops_served"` // store ops acknowledged
 	Batches   uint64 `json:"batches"`    // group commits issued
@@ -66,12 +84,49 @@ type Stats struct {
 
 	PWBs    uint64 `json:"pwbs"`    // PWB instructions issued serving requests
 	PFences uint64 `json:"pfences"` // PFence instructions issued serving requests
+
+	// Metrics is the v2 extension, present when the server's metrics
+	// core is enabled: cumulative server-side quantiles and batch-shape
+	// summaries, so a load generator can print server-observed
+	// percentiles next to its client-observed ones.
+	Metrics *StatsMetrics `json:"metrics,omitempty"`
+}
+
+// StatsMetrics is the STATS v2 summary block, distilled from the
+// metric bundle's histograms at snapshot time. All values are
+// cumulative since server start.
+type StatsMetrics struct {
+	Gets     uint64 `json:"gets"`
+	Puts     uint64 `json:"puts"`
+	Deletes  uint64 `json:"deletes"`
+	Contains uint64 `json:"contains"`
+
+	// Op service time quantiles across all op types (ns); the batch
+	// execution time of an op, excluding the shared group-commit fence.
+	OpP50Ns int64 `json:"op_p50_ns"`
+	OpP95Ns int64 `json:"op_p95_ns"`
+	OpP99Ns int64 `json:"op_p99_ns"`
+	OpMaxNs int64 `json:"op_max_ns"`
+
+	// Group-commit shape: fence duration tail, ops-per-commit
+	// distribution, mean fences per commit, pipeline window tail.
+	CommitP99Ns        int64   `json:"commit_p99_ns"`
+	BatchOpsP50        int64   `json:"batch_ops_p50"`
+	BatchOpsP95        int64   `json:"batch_ops_p95"`
+	FencesPerBatchMean float64 `json:"fences_per_batch_mean"`
+	DepthP95           int64   `json:"depth_p95"`
 }
 
 // Server serves a FliT-Store over the wire protocol.
 type Server struct {
 	st   *store.Store
 	opts Options
+
+	// metrics is the observability bundle, nil when Options.Metrics is
+	// unset — every hot-path record site gates on that nil.
+	metrics    *Metrics
+	batcherIDs atomic.Uint64 // counter stripe assignment
+	epoch      time.Time     // fixed base for cheap monotonic time.Since reads
 
 	conns     atomic.Uint64
 	opsServed atomic.Uint64
@@ -96,11 +151,16 @@ type Server struct {
 
 // New builds a server over st.
 func New(st *store.Store, opts Options) *Server {
-	return &Server{
+	s := &Server{
 		st: st, opts: opts.withDefaults(),
 		listeners: make(map[net.Listener]struct{}),
 		open:      make(map[net.Conn]struct{}),
+		epoch:     time.Now(),
 	}
+	if s.opts.Metrics {
+		s.metrics = NewMetrics()
+	}
+	return s
 }
 
 // Store returns the served store.
@@ -111,7 +171,8 @@ func (s *Server) Store() *store.Store { return s.st }
 // reading the live per-thread instruction counters here would race with
 // the connection goroutines incrementing them.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
+		Version:   StatsVersion,
 		Conns:     s.conns.Load(),
 		OpsServed: s.opsServed.Load(),
 		Batches:   s.batches.Load(),
@@ -122,6 +183,32 @@ func (s *Server) Stats() Stats {
 		PWBs:      s.pwbs.Load(),
 		PFences:   s.pfences.Load(),
 	}
+	if m := s.metrics; m != nil {
+		var lat, commit, bops, bfences, depth metrics.HistSnapshot
+		m.LatSnapshot(&lat)
+		m.Commit.Read(&commit)
+		m.BatchOps.Read(&bops)
+		m.BatchFences.Read(&bfences)
+		m.Depth.Read(&depth)
+		st.Metrics = &StatsMetrics{
+			Gets:     m.Ops[kindGet].Load(),
+			Puts:     m.Ops[kindPut].Load(),
+			Deletes:  m.Ops[kindDelete].Load(),
+			Contains: m.Ops[kindContains].Load(),
+
+			OpP50Ns: lat.Quantile(0.50),
+			OpP95Ns: lat.Quantile(0.95),
+			OpP99Ns: lat.Quantile(0.99),
+			OpMaxNs: lat.MaxNs,
+
+			CommitP99Ns:        commit.Quantile(0.99),
+			BatchOpsP50:        bops.Quantile(0.50),
+			BatchOpsP95:        bops.Quantile(0.95),
+			FencesPerBatchMean: bfences.Mean(),
+			DepthP95:           depth.Quantile(0.95),
+		}
+	}
+	return st
 }
 
 // ErrClosed is returned by Serve after Close.
@@ -196,6 +283,10 @@ func (s *Server) ServeConn(c net.Conn) {
 	}
 	defer s.untrack(c)
 	s.conns.Add(1)
+	if m := s.metrics; m != nil {
+		m.ConnsOpen.Add(1)
+		defer m.ConnsOpen.Add(-1)
+	}
 
 	b := s.getBatcher()
 	defer s.putBatcher(b)
@@ -260,6 +351,7 @@ type Batcher struct {
 	srv  *Server
 	bs   *store.BatchSession
 	bySh [][]int // per-shard request indices, reused across batches
+	id   int     // metrics counter stripe (stable per batcher)
 
 	// lastPWBs/lastPFences remember the session thread's counters at the
 	// previous publish, so each batch folds only its delta into the
@@ -274,6 +366,7 @@ func (s *Server) NewBatcher() *Batcher {
 		srv:  s,
 		bs:   s.st.NewBatchSession(),
 		bySh: make([][]int, s.st.NumShards()),
+		id:   int(s.batcherIDs.Add(1) - 1),
 	}
 }
 
@@ -308,15 +401,36 @@ func (b *Batcher) Session() *store.BatchSession { return b.bs }
 // resps[i] answers reqs[i]; len(resps) must equal len(reqs).
 func (b *Batcher) Exec(reqs []Request, resps []Response) {
 	st := b.srv.st
+	m := b.srv.metrics
 	for i := range b.bySh {
 		b.bySh[i] = b.bySh[i][:0]
 	}
 	storeOps := 0
+	var kindN [numOpKinds]uint64
 	for i := range reqs {
 		if hasKey(reqs[i].Op) {
 			sh := st.ShardOf(reqs[i].Key)
 			b.bySh[sh] = append(b.bySh[sh], i)
+			kindN[opKind(reqs[i].Op)]++
 			storeOps++
+		}
+	}
+	// With metrics on, service time is measured at batch granularity:
+	// three clock reads per Exec — [t0,t1) brackets the execution loop
+	// and is attributed to the batch's store ops in equal shares, and
+	// [t1,t2) after Commit is the group-commit duration. A clock read
+	// per op would cost more than a simulated store op does (time.Now
+	// runs ~70ns on hosts without fast vdso paths), so the per-op
+	// histograms record each op's share of its batch window instead of
+	// an individually-timed span; across many batches of varying
+	// composition the per-type distributions still separate. Durations
+	// come from time.Since on a fixed epoch — the monotonic-only path,
+	// about half the cost of time.Now.
+	var t0 time.Duration
+	if m != nil {
+		m.Depth.RecordNs(int64(len(reqs)))
+		if storeOps > 0 {
+			t0 = time.Since(b.srv.epoch)
 		}
 	}
 	for _, idxs := range b.bySh {
@@ -344,14 +458,31 @@ func (b *Batcher) Exec(reqs []Request, resps []Response) {
 	// batch's results exist as far as any client can observe. A batch of
 	// pure PING/STATS frames touched nothing and commits nothing.
 	if storeOps > 0 {
+		var t1 time.Duration
+		if m != nil {
+			t1 = time.Since(b.srv.epoch)
+		}
 		drained := b.bs.Commit()
 		b.srv.batches.Add(1)
 		b.srv.opsServed.Add(uint64(storeOps))
 		b.srv.drained.Add(uint64(drained))
 		ts := &b.bs.Thread().Stats
+		pfences := ts.PFences - b.lastPFences
 		b.srv.pwbs.Add(ts.PWBs - b.lastPWBs)
-		b.srv.pfences.Add(ts.PFences - b.lastPFences)
+		b.srv.pfences.Add(pfences)
 		b.lastPWBs, b.lastPFences = ts.PWBs, ts.PFences
+		if m != nil {
+			m.Commit.RecordNs(int64(time.Since(b.srv.epoch) - t1))
+			share := int64(t1-t0) / int64(storeOps)
+			for k, n := range kindN {
+				if n > 0 {
+					m.Lat[k].RecordNNs(share, n)
+					m.Ops[k].Add(b.id, n)
+				}
+			}
+			m.BatchOps.RecordNs(int64(storeOps))
+			m.BatchFences.RecordNs(int64(pfences))
+		}
 	}
 	// Non-store opcodes are answered after the commit, preserving
 	// response order.

@@ -122,6 +122,11 @@ type Store struct {
 	policy core.Policy
 	stride int
 	shards []*hashtable.Table
+
+	// recovered holds the RecoveryStats of the rebuild that produced this
+	// store, when it came from Recover rather than New — the observability
+	// layer exposes it (flit_recovery_seconds per shard on /metrics).
+	recovered *RecoveryStats
 }
 
 // New builds a fresh store: simulated memory, heap with one root per
@@ -213,6 +218,11 @@ func (s *Store) Policy() core.Policy { return s.policy }
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// LastRecovery returns the stats of the shard-parallel rebuild that
+// produced this store, or nil when the store was built fresh by New.
+// The returned struct is owned by the store; callers must not mutate it.
+func (s *Store) LastRecovery() *RecoveryStats { return s.recovered }
 
 // HashKey maps an arbitrary string key into the 48-bit instrumented key
 // space: FNV-1a followed by a 64-bit finalizer, masked to KeyMask. Two
@@ -429,5 +439,7 @@ func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, Recovery
 	for _, k := range keys {
 		rs.Keys += k
 	}
+	kept := rs
+	st.recovered = &kept
 	return st, rs, nil
 }

@@ -188,3 +188,151 @@ func TestFlitstoredLoadgenEndToEnd(t *testing.T) {
 		t.Fatalf("implausible run stats: %+v", res)
 	}
 }
+
+// TestFlitstoredObservabilityEndToEnd exercises the observability layer
+// through the real binaries: flitstored boots with a crash-recovered
+// store, an HTTP /metrics endpoint, and a stats-json sink; flitload
+// drives traffic with -live progress lines, validates the exposition
+// page with -scrape, and reports the STATS v2 server-side quantiles in
+// its JSON result; the shutdown stats file carries recovery stats.
+func TestFlitstoredObservabilityEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	dir := t.TempDir()
+	if out, err := exec.Command(gobin, "build", "-o", dir, "./cmd/flitstored", "./cmd/flitload").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	stored := filepath.Join(dir, "flitstored")
+	load := filepath.Join(dir, "flitload")
+	sock := filepath.Join(dir, "flitstored.sock")
+	statsPath := filepath.Join(dir, "stats.json")
+
+	srv := exec.Command(stored, "-unix", sock, "-shards", "4", "-records", "1024",
+		"-vclock", "-recover", "-metrics-addr", "127.0.0.1:0", "-stats-json", statsPath)
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srvDone := make(chan struct{})
+	go func() { srv.Wait(); close(srvDone) }()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		srv.Process.Signal(os.Interrupt)
+		select {
+		case <-srvDone:
+		case <-time.After(10 * time.Second):
+			srv.Process.Kill()
+			<-srvDone
+		}
+	}
+	defer stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out, err := exec.Command(load, "-unix", sock, "-ping").CombinedOutput()
+		if err == nil && strings.Contains(string(out), "pong") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flitstored never became ready: %v\n%s\nserver:\n%s", err, out, srvOut.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(srvOut.String(), "recovered 1024 keys") {
+		t.Fatalf("server did not report the boot-time recovery:\n%s", srvOut.String())
+	}
+	// The daemon prints the bound metrics address so :0 works here.
+	var metricsURL string
+	for _, line := range strings.Split(srvOut.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "flitstored: metrics on "); ok {
+			metricsURL = strings.TrimSpace(rest)
+		}
+	}
+	if metricsURL == "" {
+		t.Fatalf("server never printed the metrics address:\n%s", srvOut.String())
+	}
+
+	// A -live run: progress lines go to stderr, the result to stdout.
+	var liveOut, liveErr bytes.Buffer
+	liveCmd := exec.Command(load, "-unix", sock, "-mix", "a", "-dist", "zipfian",
+		"-records", "1024", "-conns", "2", "-depth", "16", "-duration", "1300ms", "-live")
+	liveCmd.Stdout, liveCmd.Stderr = &liveOut, &liveErr
+	if err := liveCmd.Run(); err != nil {
+		t.Fatalf("flitload -live failed: %v\n%s%s", err, liveOut.String(), liveErr.String())
+	}
+	if !strings.Contains(liveErr.String(), "ops/s") || !strings.Contains(liveErr.String(), "pwbs/op") {
+		t.Fatalf("-live printed no combined progress line:\n%s", liveErr.String())
+	}
+	if !strings.Contains(liveOut.String(), "server service time") {
+		t.Fatalf("final report missing server-side quantiles:\n%s", liveOut.String())
+	}
+
+	// The scrape mode validates the exposition with the shared parser.
+	var scrapeOut, scrapeErr bytes.Buffer
+	scrapeCmd := exec.Command(load, "-scrape", metricsURL)
+	scrapeCmd.Stdout, scrapeCmd.Stderr = &scrapeOut, &scrapeErr
+	if err := scrapeCmd.Run(); err != nil {
+		t.Fatalf("flitload -scrape failed: %v\n%s", err, scrapeErr.String())
+	}
+	for _, want := range []string{
+		"flit_op_seconds_bucket{op=\"put\",le=\"+Inf\"}",
+		"flit_batch_ops_sum",
+		"flit_recovery_seconds{shard=\"0\"}",
+		"flit_recovery_keys 1024",
+	} {
+		if !strings.Contains(scrapeOut.String(), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, scrapeOut.String())
+		}
+	}
+
+	// A -json run must carry the STATS v2 server-side quantiles.
+	out, err := exec.Command(load, "-unix", sock, "-mix", "a", "-records", "1024",
+		"-conns", "1", "-depth", "8", "-duration", "150ms", "-json").Output()
+	if err != nil {
+		t.Fatalf("flitload -json failed: %v\n%s", err, out)
+	}
+	var res struct {
+		Ops       uint64 `json:"ops"`
+		ServerP50 int64  `json:"server_p50_ns"`
+		ServerP99 int64  `json:"server_p99_ns"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("flitload output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.Ops == 0 || res.ServerP50 <= 0 || res.ServerP99 < res.ServerP50 {
+		t.Fatalf("server quantiles missing from JSON result: %+v", res)
+	}
+
+	// Shutdown writes the final stats + recovery JSON.
+	stop()
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats-json not written: %v\nserver:\n%s", err, srvOut.String())
+	}
+	var final struct {
+		Stats struct {
+			Version   int    `json:"v"`
+			OpsServed uint64 `json:"ops_served"`
+			Metrics   *struct {
+				OpP99Ns int64 `json:"op_p99_ns"`
+			} `json:"metrics"`
+		} `json:"stats"`
+		Recovery *struct {
+			Keys int `json:"Keys"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(data, &final); err != nil {
+		t.Fatalf("stats-json is not valid JSON: %v\n%s", err, data)
+	}
+	if final.Stats.Version != 2 || final.Stats.OpsServed == 0 ||
+		final.Stats.Metrics == nil || final.Stats.Metrics.OpP99Ns <= 0 {
+		t.Fatalf("stats-json missing v2 metrics: %s", data)
+	}
+	if final.Recovery == nil || final.Recovery.Keys != 1024 {
+		t.Fatalf("stats-json missing recovery stats: %s", data)
+	}
+}
