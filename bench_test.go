@@ -350,7 +350,7 @@ func newBenchStore(b *testing.B, shards, keys int) *store.Store {
 func BenchmarkStorePut(b *testing.B) {
 	const keys = 1 << 15
 	st := newBenchStore(b, 8, keys)
-	sess := st.NewSession()
+	sess := store.Open[string](st, store.Direct)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		k := uint64(i) & (keys - 1)
@@ -363,7 +363,7 @@ func BenchmarkStoreGet(b *testing.B) {
 	const keys = 1 << 14
 	st := newBenchStore(b, 8, keys)
 	workload.Load(st, keys, runtime.GOMAXPROCS(0))
-	sess := st.NewSession()
+	sess := store.Open[string](st, store.Direct)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sess.Get(workload.Key(uint64(i*2654435761) % keys))

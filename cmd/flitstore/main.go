@@ -114,7 +114,7 @@ func main() {
 	buckets := flag.Int("buckets", 0, "buckets per shard (0 = derive from -records)")
 	policy := flag.String("policy", core.PolicyHT, "persistence policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|izraelevitz|link-and-persist|no-persist)")
 	modeName := flag.String("mode", dstruct.Automatic.String(), "durability mode (automatic|nvtraverse|manual)")
-	wl := flag.String("workload", "a", "YCSB mix (a|b|c|d|e|f)")
+	wl := flag.String("workload", "a", "YCSB mix (a|b|c|d|e|f|g)")
 	dist := flag.String("dist", workload.DistZipfian, "key distribution (uniform|zipfian|latest)")
 	zipfS := flag.Float64("zipf", workload.DefaultZipfS, "zipfian skew (>1)")
 	threads := flag.Int("threads", defaultThreads(), "worker threads")

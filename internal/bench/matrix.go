@@ -75,6 +75,45 @@ func (c NetCell) ID() string {
 		fmt.Sprintf("c%d", c.Conns), fmt.Sprintf("d%d", c.Depth))
 }
 
+// CombineCell is one point of the embedded flat-combining grid: a YCSB
+// mix driven in-process through Combined sessions — Matrix.Threads
+// workers each announcing Depth-op vector windows to the store's
+// per-shard combiners, which merge concurrent announcements and commit
+// each combining window (target size Window) under one fence. Its
+// pwbs_per_op cell is the embedded counterpart of the net cells'
+// group-commit amortization: no server, no pipeline — the combiner IS
+// the batch owner. NoCoalesce disables VSA-style net-delta folding
+// (the mix-G control cell); HotKeys pins non-insert draws to a tiny
+// key window so FAA traffic piles onto a few counters.
+type CombineCell struct {
+	Mix        string
+	Dist       string
+	Policy     string
+	Shards     int
+	Records    uint64
+	Depth      int
+	Window     int
+	HotKeys    uint64
+	NoCoalesce bool
+}
+
+// ID is the cell's stable identity (see SetCell.ID). The coalescing
+// switch is spelled raw|coal so control and optimized cells can never
+// silently join.
+func (c CombineCell) ID() string {
+	coal := "coal"
+	if c.NoCoalesce {
+		coal = "raw"
+	}
+	parts := []string{"combine", c.Mix, c.Dist, c.Policy,
+		fmt.Sprintf("s%d", c.Shards), fmt.Sprintf("r%d", c.Records),
+		fmt.Sprintf("d%d", c.Depth), fmt.Sprintf("w%d", c.Window), coal}
+	if c.HotKeys > 0 {
+		parts = append(parts, fmt.Sprintf("h%d", c.HotKeys))
+	}
+	return SlugID(parts...)
+}
+
 // Matrix declares a benchmark run: which cells, and how each is
 // measured (threads, warmup, measured duration, repeats). Zero values
 // take defaults scaled to the host.
@@ -103,6 +142,7 @@ type Matrix struct {
 	Set          []SetCell
 	Store        []StoreCell
 	Net          []NetCell
+	Combine      []CombineCell
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -141,7 +181,7 @@ func (m Matrix) Config() map[string]string {
 // through the stats kernel — and returns the validated report.
 func (m Matrix) Run() (*Report, error) {
 	m = m.withDefaults()
-	if len(m.Set) == 0 && len(m.Store) == 0 && len(m.Net) == 0 {
+	if len(m.Set) == 0 && len(m.Store) == 0 && len(m.Net) == 0 && len(m.Combine) == 0 {
 		return nil, fmt.Errorf("bench: matrix %q has no cells", m.Name)
 	}
 	rep := NewReport("bench-matrix", m.Config())
@@ -155,6 +195,11 @@ func (m Matrix) Run() (*Report, error) {
 	}
 	for _, c := range m.Net {
 		if err := m.runNet(rep, c); err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
+		}
+	}
+	for _, c := range m.Combine {
+		if err := m.runCombine(rep, c); err != nil {
 			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
 		}
 	}
@@ -349,6 +394,81 @@ func (m Matrix) runNet(rep *Report, c NetCell) error {
 	return nil
 }
 
+// runCombine measures one embedded flat-combining cell: build the store
+// with the cell's combining window, YCSB-load it, then drive the
+// workload runner in Combined mode at the cell's vector depth — every
+// worker a concurrent announcer, every window fenced once by whichever
+// announcer wins the shard's combiner lock. Measurement mirrors
+// runStore so combine cells compare directly against the per-op store
+// cells and the server-side net cells.
+func (m Matrix) runCombine(rep *Report, c CombineCell) error {
+	st, err := store.New(store.Options{
+		Shards:            c.Shards,
+		ExpectedKeys:      int(c.Records) * 3,
+		Policy:            c.Policy,
+		Mode:              dstruct.Automatic,
+		VirtualClock:      m.VirtualClock,
+		CombineWindow:     c.Window,
+		CombineNoCoalesce: c.NoCoalesce,
+	})
+	if err != nil {
+		return err
+	}
+	workload.Load(st, c.Records, m.Threads)
+	spec := workload.Spec{
+		Mix: c.Mix, Dist: c.Dist, Threads: m.Threads,
+		Duration: m.Duration, Records: c.Records, Seed: m.Seed,
+		Mode: store.Combined, Depth: c.Depth, HotKeys: c.HotKeys,
+	}
+	if m.Warmup > 0 {
+		warm := spec
+		warm.Duration = m.Warmup
+		if _, err := workload.Run(st, warm); err != nil {
+			return err
+		}
+	}
+	var tput, pwbRate, p99 []float64
+	var ops, pwbs, pfences uint64
+	var p50Sum, p95Sum, p99Sum int64
+	var nsPerOp, allocsPerOp float64
+	for i := 0; i < m.Repeats; i++ {
+		r, err := workload.Run(st, spec)
+		if err != nil {
+			return err
+		}
+		tput = append(tput, r.OpsPerSec)
+		pwbRate = append(pwbRate, r.PWBsPerOp)
+		p99 = append(p99, float64(r.P99.Nanoseconds()))
+		ops += r.Ops
+		pwbs += r.PWBs
+		pfences += r.PFences
+		p50Sum += r.P50.Nanoseconds()
+		p95Sum += r.P95.Nanoseconds()
+		p99Sum += r.P99.Nanoseconds()
+		nsPerOp += r.NsPerOp
+		allocsPerOp += r.AllocsPerOp
+	}
+	n := int64(m.Repeats)
+	id := c.ID()
+	rep.Add(Cell{
+		ID: id + "/throughput", Unit: "ops/s", Value: stats.Summarize(tput),
+		Ops: ops, PWBs: pwbs, PFences: pfences,
+		P50Ns: p50Sum / n, P95Ns: p95Sum / n, P99Ns: p99Sum / n,
+		NsPerOp: nsPerOp / float64(n), AllocsPerOp: allocsPerOp / float64(n),
+	})
+	rep.Add(Cell{
+		ID: id + "/pwbs_per_op", Unit: "pwbs/op", Value: stats.Summarize(pwbRate),
+		LowerIsBetter: true,
+	})
+	if m.Latency {
+		rep.Add(Cell{
+			ID: id + "/p99", Unit: "ns", Value: stats.Summarize(p99),
+			LowerIsBetter: true,
+		})
+	}
+	return nil
+}
+
 // CrossSet expands the cross product of structures × policies × modes ×
 // update ratios into set cells, skipping the one inapplicable
 // combination (link-and-persist on the NM-BST, as in Figure 7).
@@ -423,6 +543,45 @@ func Presets() map[string]Matrix {
 				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Conns: 1, Depth: 32},
 			},
 		},
+		// combining is the embedded fence-amortization comparison — the
+		// flat-combining answer to groupcommit's pipelined server: the
+		// same YCSB mixes measured in-process with per-op persistence
+		// (the store cells) and through Combined sessions announcing
+		// depth-32 vectors into window-128 per-shard combiners — the
+		// window spans one full announce wave (4 threads x depth 32), so
+		// a whole wave commits under one fence. The combine cells'
+		// pwbs/op must
+		// sit at or below the depth-32 net cells committed in
+		// BENCH_groupcommit.json — the combiner merges windows ACROSS
+		// sessions, which a per-connection pipeline cannot. The mix-G
+		// pair is the net-delta coalescing headline: self-cancelling ±1
+		// FAA traffic on one hot counter, measured with coalescing on
+		// (coal) and off (raw); the coal cell must persist ≥10x fewer
+		// lines per op. BENCH_combining.json is this matrix's committed
+		// trajectory point.
+		"combining": {
+			Name:     "combining",
+			Threads:  4,
+			Duration: 150 * time.Millisecond,
+			// Mix d inserts draw from a bounded key range; until the range
+			// saturates, every insert dirties fresh lines and pwbs/op sits
+			// ~2x above steady state. The long warmup runs the cell past
+			// that knee so the committed numbers are the plateau, not the
+			// fill transient.
+			Warmup:  300 * time.Millisecond,
+			Repeats: 3,
+			Seed:    1,
+			Store: []StoreCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192},
+			},
+			Combine: []CombineCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Depth: 32, Window: 128},
+				{Mix: "d", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Depth: 32, Window: 128},
+				{Mix: "g", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Depth: 32, Window: 128, HotKeys: 1},
+				{Mix: "g", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Depth: 32, Window: 128, HotKeys: 1, NoCoalesce: true},
+			},
+		},
 		"full": {
 			Name:     "full",
 			Duration: 200 * time.Millisecond,
@@ -458,4 +617,4 @@ func Preset(name string) (Matrix, bool) {
 }
 
 // PresetNames lists the preset matrices in a stable order.
-func PresetNames() []string { return []string{"smoke", "groupcommit", "full"} }
+func PresetNames() []string { return []string{"smoke", "groupcommit", "combining", "full"} }

@@ -248,7 +248,7 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 	limit.Store(sp.Records)
 	gens := make([]*workload.Generator, sp.Conns)
 	for w := range gens {
-		g, err := workload.NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, sp.Seed+int64(w)*7919)
+		g, err := workload.NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, 0, sp.Seed+int64(w)*7919)
 		if err != nil {
 			return Result{}, err
 		}

@@ -7,6 +7,7 @@ import (
 	"flit/internal/dlcheck"
 	"flit/internal/dstruct"
 	"flit/internal/pmem"
+	"flit/internal/store"
 	"flit/internal/workload"
 )
 
@@ -47,7 +48,7 @@ func TestStoreBatchedDurableLinearizability(t *testing.T) {
 						if verdict.Violation != nil {
 							t.Fatalf("mode %v crash mode %v seed %d: %v", mode, cm, seed, verdict.Violation)
 						}
-						sess := verdict.Store.NewSession()
+						sess := store.Open[string](verdict.Store, store.Direct)
 						if !sess.Put("post", 1) || !sess.Contains("post") || !sess.Delete("post") {
 							t.Fatalf("mode %v crash mode %v seed %d: recovered store inoperable", mode, cm, seed)
 						}

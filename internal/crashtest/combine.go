@@ -1,0 +1,403 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"flit/internal/dlcheck"
+	"flit/internal/hist"
+	"flit/internal/pmem"
+	"flit/internal/store"
+)
+
+// This file wires the embedded flat-combining path — Combined sessions
+// announcing into the store's per-shard combiners — into both crash
+// harnesses. The ack rule under test is the combiner's: a Combined
+// Apply returns (and thus a result is externalized) only after its
+// window's single commit fence, so no crash boundary may lose an
+// acknowledged operation. Crash injection is armed on the combiner
+// threads (store.CombinerThreads): announcing sessions execute no
+// instrumented instructions themselves, so in Combined mode those are
+// the only threads a countdown can fire on. A firing countdown kills
+// the whole simulated process (sticky Store crash flag), freezing every
+// in-flight window as pending history.
+
+// combExec adapts a Combined store session to dlcheck.BatchExecutor,
+// mapping the enumerator's uint64 keys onto store string keys (same
+// namespace as RunStoreDL).
+type combExec struct {
+	sess *store.Sess[string]
+	ops  []store.Op[string]
+	res  []store.Result
+}
+
+func (e *combExec) ExecBatch(ops []dlcheck.BatchOp, results []bool) {
+	e.ops, e.res = e.ops[:0], e.res[:0]
+	for _, op := range ops {
+		kind := store.OpContains
+		switch op.Kind {
+		case hist.Insert:
+			kind = store.OpPut
+		case hist.Delete:
+			kind = store.OpDelete
+		}
+		e.ops = append(e.ops, store.Op[string]{Kind: kind, Key: dlStoreKey(op.Key), Val: op.Val})
+		e.res = append(e.res, store.Result{})
+	}
+	e.sess.Apply(e.ops, e.res)
+	for i := range e.res {
+		results[i] = e.res[i].Ok
+	}
+}
+
+// RunStoreCombinedDL runs the systematic checker against a whole store
+// reached through Combined sessions: pipelined op vectors announce to
+// the per-shard combiners, execute under single window fences (possibly
+// merged with other sessions' announcements into one window), and every
+// response is recorded only after Apply returns — i.e. after the fence.
+// Every (budgeted) persist boundary is then recovered and checked. st
+// must be freshly created, as for RunStoreDL.
+func RunStoreCombinedDL(st *store.Store, opts dlcheck.Options) *dlcheck.Report {
+	opts = opts.Normalized()
+	keyspace := opts.KeyRange
+	if opts.Prefill > keyspace {
+		keyspace = opts.Prefill
+	}
+	back := make(map[uint64]uint64, keyspace)
+	for k := 0; k < keyspace; k++ {
+		back[store.HashKey(dlStoreKey(uint64(k)))] = uint64(k)
+	}
+	return dlcheck.RunBatched(dlcheck.BatchedHarness{
+		Name:   "store-combined",
+		Mem:    st.Mem(),
+		Policy: st.Policy(),
+		NewSession: func() dlcheck.BatchExecutor {
+			return &combExec{sess: store.Open[string](st, store.Combined)}
+		},
+		Recover: func(img []uint64) (map[uint64]bool, error) {
+			mem2 := pmem.NewFromImage(img, st.Mem().Config())
+			st2, _, err := store.Recover(mem2, st.Heap().Watermark(), st.Opts())
+			if err != nil {
+				return nil, err
+			}
+			final := make(map[uint64]bool)
+			for h := range st2.Snapshot() {
+				k, ok := back[h]
+				if !ok {
+					return nil, fmt.Errorf("recovered key hash %#x is outside the checker's namespace (phantom key)", h)
+				}
+				final[k] = true
+			}
+			return final, nil
+		},
+	}, opts)
+}
+
+// RunStoreCombined executes one seeded randomized crash round through
+// the flat-combining path: workers pipeline op vectors of up to
+// maxBatch ops into Combined sessions while the per-shard combiner
+// threads run seeded instruction countdowns. A countdown firing
+// mid-window kills the simulated process — the crashing volunteer's
+// window freezes as executed-but-unacknowledged, and every other
+// worker's in-flight Apply dies with it, so all their ops stay pending
+// (free to survive or vanish). The recovered key set is then checked
+// exactly as RunStore does.
+func RunStoreCombined(st *store.Store, opts StoreOptions, maxBatch int) (StoreVerdict, error) {
+	if opts.KeyOf == nil {
+		opts.KeyOf = func(i uint64) string { return fmt.Sprintf("key-%d", i) }
+	}
+	if min := uint64(opts.Workers*opts.OpsPerWorker)/4 + 1; opts.KeyRange < min {
+		opts.KeyRange = min
+	}
+	if opts.MaxCrash < opts.MinCrash {
+		opts.MaxCrash = opts.MinCrash
+	}
+	if maxBatch <= 0 {
+		maxBatch = 8
+	}
+
+	initial := make(map[uint64]bool)
+	for k := range st.Snapshot() {
+		initial[k] = true
+	}
+
+	clock := &hist.Clock{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	recs := make([]*hist.Recorder, opts.Workers)
+	sessions := make([]*store.Sess[string], opts.Workers)
+	seeds := make([]int64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		recs[w] = hist.NewRecorder(clock)
+		sessions[w] = store.Open[string](st, store.Combined)
+		seeds[w] = rng.Int63()
+	}
+	// Countdowns live on the combiner threads, one per shard — the only
+	// threads that execute instrumented instructions in Combined mode.
+	for _, ct := range st.CombinerThreads() {
+		ct.SetCrashAfter(opts.MinCrash + rng.Int63n(opts.MaxCrash-opts.MinCrash+1))
+	}
+
+	var crashed, recorded int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := sessions[w]
+			rec := recs[w]
+			wrng := rand.New(rand.NewSource(seeds[w]))
+			n := 0
+			ops := make([]store.Op[string], 0, maxBatch)
+			res := make([]store.Result, maxBatch)
+			toks := make([]int, 0, maxBatch)
+			c := pmem.RunToCrash(func() {
+				remaining := opts.OpsPerWorker
+				for remaining > 0 {
+					depth := 1 + wrng.Intn(maxBatch)
+					if depth > remaining {
+						depth = remaining
+					}
+					remaining -= depth
+					ops, toks = ops[:0], toks[:0]
+					for i := 0; i < depth; i++ {
+						idx := uint64(wrng.Int63()) % opts.KeyRange
+						key := opts.KeyOf(idx)
+						hk := store.HashKey(key)
+						kind := hist.Kind(wrng.Intn(3))
+						sk := store.OpContains
+						switch kind {
+						case hist.Insert:
+							sk = store.OpPut
+						case hist.Delete:
+							sk = store.OpDelete
+						}
+						ops = append(ops, store.Op[string]{Kind: sk, Key: key, Val: uint64(n + i)})
+						toks = append(toks, rec.Begin(kind, hk))
+					}
+					n += depth
+					// A crash inside Apply — in this session's own window
+					// or anywhere else in the process — leaves the whole
+					// vector unacknowledged: every op stays pending.
+					sess.Apply(ops, res[:depth])
+					for i := 0; i < depth; i++ {
+						rec.Finish(toks[i], res[i].Ok)
+					}
+				}
+			})
+			mu.Lock()
+			recorded += int64(n)
+			if c {
+				crashed++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	wm := st.Heap().Watermark()
+	img := st.Mem().CrashImage(opts.CrashMode, opts.Seed^0x5ca1ab1e)
+	mem2 := pmem.NewFromImage(img, st.Mem().Config())
+	st2, rstats, err := store.Recover(mem2, wm, st.Opts())
+	if err != nil {
+		return StoreVerdict{}, err
+	}
+	final := make(map[uint64]bool)
+	for k := range st2.Snapshot() {
+		final[k] = true
+	}
+	return StoreVerdict{
+		Violation:   hist.Check(recs, initial, final),
+		Store:       st2,
+		Recovery:    rstats,
+		RecordedOps: int(recorded),
+		Crashed:     int(crashed),
+	}, nil
+}
+
+// combineAddBase offsets the counter keys of the net-delta battery so
+// signed ±1 churn never drives a stored value negative.
+const combineAddBase = uint64(1) << 20
+
+// AddsVerdict is the outcome of one net-delta crash round.
+type AddsVerdict struct {
+	// Violation is nil when every recovered counter is explainable by
+	// the acknowledged deltas plus a subset of the pending ones.
+	Violation error
+	// Store is the recovered instance.
+	Store *store.Store
+	// Recovery reports the shard-parallel rebuild.
+	Recovery store.RecoveryStats
+	// AckedWindows counts Apply calls that returned before the crash;
+	// Crashed counts workers the crash interrupted.
+	AckedWindows int
+	Crashed      int
+}
+
+// RunStoreCombinedAdds is the net-delta crash battery: the checker the
+// VSA-style coalescing optimization answers to. Workers drive windows
+// of OpAdd deltas over a few hot counter keys through Combined
+// sessions; the combiner folds each window's deltas into one net store
+// per key and fences once, so a crash must respect counter semantics at
+// window granularity:
+//
+//   - every acknowledged window's net delta is durable (its Apply
+//     returned only after the fence), and
+//   - the crash-interrupted windows are pending: each may contribute
+//     any subset of its deltas, so the recovered value must lie within
+//     [acked + pendingNeg, acked + pendingPos].
+//
+// Coalescing makes the elision total for self-cancelling traffic — a
+// net-zero window writes nothing — which is precisely why this battery
+// exists: an unsound elision (skipping a non-zero net, or acking before
+// the fence) shows up here as a counter outside the interval. biased
+// selects all-+1 deltas instead of ±1, giving the no-persist tooth a
+// drift the pending interval cannot absorb.
+func RunStoreCombinedAdds(st *store.Store, opts StoreOptions, window, hotKeys int, biased bool) (AddsVerdict, error) {
+	if opts.KeyOf == nil {
+		opts.KeyOf = func(i uint64) string { return fmt.Sprintf("key-%d", i) }
+	}
+	if window <= 0 {
+		window = 16
+	}
+	if hotKeys <= 0 {
+		hotKeys = 4
+	}
+	if opts.MaxCrash < opts.MinCrash {
+		opts.MaxCrash = opts.MinCrash
+	}
+
+	// Seed every counter through a Direct session — fenced per op —
+	// before any countdown is armed: the bases must survive every crash.
+	seed := store.Open[string](st, store.Direct)
+	keys := make([]string, hotKeys)
+	for i := range keys {
+		keys[i] = opts.KeyOf(uint64(i))
+		seed.Put(keys[i], combineAddBase)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sessions := make([]*store.Sess[string], opts.Workers)
+	seeds := make([]int64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		sessions[w] = store.Open[string](st, store.Combined)
+		seeds[w] = rng.Int63()
+	}
+	for _, ct := range st.CombinerThreads() {
+		ct.SetCrashAfter(opts.MinCrash + rng.Int63n(opts.MaxCrash-opts.MinCrash+1))
+	}
+
+	// Per-worker, per-key ledgers: acknowledged net deltas, and the
+	// positive/negative delta sums of the window in flight at the crash.
+	acked := make([][]int64, opts.Workers)
+	pendPos := make([][]int64, opts.Workers)
+	pendNeg := make([][]int64, opts.Workers)
+	for w := range acked {
+		acked[w] = make([]int64, hotKeys)
+		pendPos[w] = make([]int64, hotKeys)
+		pendNeg[w] = make([]int64, hotKeys)
+	}
+
+	var crashed, ackedWindows int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := sessions[w]
+			wrng := rand.New(rand.NewSource(seeds[w]))
+			ops := make([]store.Op[string], window)
+			res := make([]store.Result, window)
+			cur := make([]int64, hotKeys)    // in-flight window net per key
+			curPos := make([]int64, hotKeys) // in-flight positive sum per key
+			curNeg := make([]int64, hotKeys) // in-flight negative sum per key
+			windows := opts.OpsPerWorker / window
+			if windows < 1 {
+				windows = 1
+			}
+			var acks int64
+			c := pmem.RunToCrash(func() {
+				for b := 0; b < windows; b++ {
+					for k := 0; k < hotKeys; k++ {
+						cur[k], curPos[k], curNeg[k] = 0, 0, 0
+					}
+					for i := 0; i < window; i++ {
+						k := wrng.Intn(hotKeys)
+						var d int64 = 1
+						if !biased && wrng.Intn(2) == 0 {
+							d = -1
+						}
+						ops[i] = store.Op[string]{Kind: store.OpAdd, Key: keys[k], Val: uint64(d)}
+						cur[k] += d
+						if d > 0 {
+							curPos[k] += d
+						} else {
+							curNeg[k] += d
+						}
+					}
+					// Apply returns only after every touched shard's window
+					// fence — the acknowledgment the ledger records.
+					sess.Apply(ops, res)
+					for k := 0; k < hotKeys; k++ {
+						acked[w][k] += cur[k]
+					}
+					acks++
+				}
+			})
+			mu.Lock()
+			ackedWindows += acks
+			if c {
+				crashed++
+				// The interrupted window is pending: any subset of its
+				// deltas may have reached the image, so its contribution
+				// is bounded by the per-key signed sums.
+				for k := 0; k < hotKeys; k++ {
+					pendPos[w][k] = curPos[k]
+					pendNeg[w][k] = curNeg[k]
+				}
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	wm := st.Heap().Watermark()
+	img := st.Mem().CrashImage(opts.CrashMode, opts.Seed^0x5ca1ab1e)
+	mem2 := pmem.NewFromImage(img, st.Mem().Config())
+	st2, rstats, err := store.Recover(mem2, wm, st.Opts())
+	if err != nil {
+		return AddsVerdict{}, err
+	}
+	v := AddsVerdict{
+		Store:        st2,
+		Recovery:     rstats,
+		AckedWindows: int(ackedWindows),
+		Crashed:      int(crashed),
+	}
+	// Read the counters through a session, not the raw snapshot: policies
+	// that keep metadata in the value word (link-and-persist's dirty bit)
+	// strip it on the logical load path.
+	chk := store.Open[string](st2, store.Direct)
+	for k := 0; k < hotKeys; k++ {
+		val, ok := chk.Get(keys[k])
+		if !ok {
+			v.Violation = fmt.Errorf("counter %q lost: seeded before the round, absent after recovery", keys[k])
+			return v, nil
+		}
+		var ack, lo, hi int64
+		for w := 0; w < opts.Workers; w++ {
+			ack += acked[w][k]
+			lo += pendNeg[w][k]
+			hi += pendPos[w][k]
+		}
+		got := int64(val) - int64(combineAddBase)
+		if got < ack+lo || got > ack+hi {
+			v.Violation = fmt.Errorf("counter %q recovered at net %d, outside [%d, %d] (acked %d, pending [%d, %d])",
+				keys[k], got, ack+lo, ack+hi, ack, lo, hi)
+			return v, nil
+		}
+	}
+	return v, nil
+}

@@ -58,7 +58,7 @@ func NewDLStore(policy string, mode dstruct.Mode) (*store.Store, error) {
 // keys, giving the whole-store service set semantics the engine records
 // (Put ≡ Insert: true iff newly inserted).
 type dlStoreSession struct {
-	sess *store.Session
+	sess *store.Sess[string]
 }
 
 func dlStoreKey(k uint64) string { return fmt.Sprintf("dlkey-%d", k) }
@@ -89,7 +89,7 @@ func RunStoreDL(st *store.Store, opts dlcheck.Options) *dlcheck.Report {
 		Name:       "store",
 		Mem:        st.Mem(),
 		Policy:     st.Policy(),
-		NewSession: func() dstruct.SetThread { return dlStoreSession{st.NewSession()} },
+		NewSession: func() dstruct.SetThread { return dlStoreSession{store.Open[string](st, store.Direct)} },
 		Recover: func(img []uint64) (map[uint64]bool, error) {
 			mem2 := pmem.NewFromImage(img, st.Mem().Config())
 			st2, _, err := store.Recover(mem2, st.Heap().Watermark(), st.Opts())

@@ -77,12 +77,12 @@ func RunStore(st *store.Store, opts StoreOptions) (StoreVerdict, error) {
 	clock := &hist.Clock{}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	recs := make([]*hist.Recorder, opts.Workers)
-	sessions := make([]*store.Session, opts.Workers)
+	sessions := make([]*store.Sess[string], opts.Workers)
 	countdowns := make([]int64, opts.Workers)
 	seeds := make([]int64, opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		recs[w] = hist.NewRecorder(clock)
-		sessions[w] = st.NewSession()
+		sessions[w] = store.Open[string](st, store.Direct)
 		countdowns[w] = opts.MinCrash + rng.Int63n(opts.MaxCrash-opts.MinCrash+1)
 		seeds[w] = rng.Int63()
 	}

@@ -71,7 +71,7 @@ func TestStoreDurableLinearizability(t *testing.T) {
 							t.Fatalf("recovery covered %d shards, want 8", len(verdict.Recovery.Shards))
 						}
 						// The recovered store must stay operational.
-						sess := verdict.Store.NewSession()
+						sess := store.Open[string](verdict.Store, store.Direct)
 						if !sess.Put("post", 1) || !sess.Contains("post") || !sess.Delete("post") {
 							t.Fatalf("mode %v crash mode %v seed %d: recovered store inoperable", mode, cm, seed)
 						}
@@ -125,7 +125,7 @@ func TestStoreRepeatedCrashCycles(t *testing.T) {
 		}
 		st = verdict.Store
 		// Mutate between crashes so each round persists fresh state.
-		sess := st.NewSession()
+		sess := store.Open[string](st, store.Direct)
 		for i := 0; i < 50; i++ {
 			sess.Put(fmt.Sprintf("round%d-%d", round, i), uint64(i))
 		}
@@ -199,7 +199,7 @@ func TestStoreRecoveryIdempotentAndCrashDuringRecovery(t *testing.T) {
 	st := newCrashStore(t, core.PolicyHT)
 	workload.Load(st, 200, 2)
 	// Interrupt a session mid-stream so the image is genuinely torn.
-	sess := st.NewSession()
+	sess := store.Open[string](st, store.Direct)
 	sess.Thread().SetCrashAfter(700)
 	pmem.RunToCrash(func() {
 		for i := 0; ; i++ {

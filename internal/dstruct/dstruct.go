@@ -116,6 +116,30 @@ func (c *Config) NewCtx(dom *reclaim.Domain) Ctx {
 	return Ctx{T: c.Heap.Mem().RegisterThread(), Ar: ar, H: dom.NewHandle(ar)}
 }
 
+// ThreadOpts configures a per-goroutine structure handle — the single
+// options-struct constructor argument that replaced the
+// NewThread/NewThreadWith/NewThreadWithPolicy sprawl. Zero values pick
+// the structure's own defaults, so Open(ThreadOpts{}) is the standalone
+// handle NewThread returns, and each field overrides one piece of the
+// execution context independently.
+type ThreadOpts struct {
+	// T is the pmem thread the handle issues instructions through (one
+	// write-back queue, one statistics record, one crash countdown). A
+	// goroutine operating several structures at once — a store session
+	// spanning N shards — must pass the same T to every handle, exactly
+	// as a single core would. Nil registers a fresh thread.
+	T *pmem.Thread
+	// Arena is the persistent-heap allocation arena. Nil opens a fresh
+	// one; sessions spanning structures share one arena alongside T.
+	Arena *pheap.Arena
+	// Policy overrides the structure's configured policy for this handle.
+	// It must be layout-compatible (same stride) — the intended use is a
+	// per-session wrapper over the configured policy, such as the
+	// deferred group-commit skeleton (core.NewDeferred). Nil keeps the
+	// structure's policy.
+	Policy core.Policy
+}
+
 // SetThread is a per-thread handle to a concurrent set. Handles are not
 // safe for concurrent use; create one per goroutine.
 type SetThread interface {

@@ -82,26 +82,33 @@ type Thread struct {
 	lt *list.Thread
 }
 
-// NewThread creates a per-goroutine handle.
-func (t *Table) NewThread() dstruct.SetThread { return t.newThread() }
+// NewThread creates a standalone per-goroutine handle — the Set
+// interface's spelling of Open(ThreadOpts{}).
+func (t *Table) NewThread() dstruct.SetThread { return t.Open(dstruct.ThreadOpts{}) }
 
-func (t *Table) newThread() *Thread {
-	return &Thread{t: t, lt: t.l.NewThread().(*list.Thread)}
+// Open creates a per-goroutine handle configured by o (see list.Open and
+// dstruct.ThreadOpts): sessions that operate many shard tables from one
+// goroutine pass the shared pmem thread and arena; group-commit and
+// combining sessions additionally override the policy with a deferred
+// wrapper.
+func (t *Table) Open(o dstruct.ThreadOpts) *Thread {
+	return &Thread{t: t, lt: t.l.Open(o)}
 }
 
-// NewThreadWith creates a handle sharing an existing pmem thread and arena
-// (see list.NewThreadWith): the entry point for sessions that operate many
-// shard tables from one goroutine.
+// NewThreadWith creates a handle sharing an existing pmem thread and
+// arena.
+//
+// Deprecated: use Open(dstruct.ThreadOpts{T: th, Arena: ar}).
 func (t *Table) NewThreadWith(th *pmem.Thread, ar *pheap.Arena) *Thread {
-	return &Thread{t: t, lt: t.l.NewThreadWith(th, ar)}
+	return t.Open(dstruct.ThreadOpts{T: th, Arena: ar})
 }
 
 // NewThreadWithPolicy is NewThreadWith with the thread's instructions
-// instrumented by pol instead of the table's configured policy (see
-// list.NewThreadWithPolicy) — the entry point for group-commit batch
-// sessions.
+// instrumented by pol instead of the table's configured policy.
+//
+// Deprecated: use Open(dstruct.ThreadOpts{T: th, Arena: ar, Policy: pol}).
 func (t *Table) NewThreadWithPolicy(th *pmem.Thread, ar *pheap.Arena, pol core.Policy) *Thread {
-	return &Thread{t: t, lt: t.l.NewThreadWithPolicy(th, ar, pol)}
+	return t.Open(dstruct.ThreadOpts{T: th, Arena: ar, Policy: pol})
 }
 
 // Ctx exposes the thread's execution context (stats, crash injection).
@@ -116,6 +123,13 @@ func (th *Thread) Insert(key, val uint64) bool {
 // is already present; it reports whether a new key was inserted.
 func (th *Thread) Put(key, val uint64) bool {
 	return th.lt.UpsertAt(th.t.bucketHead(key), key, val)
+}
+
+// Add atomically adds delta to key's value, inserting key→delta when
+// absent (see list.AddAt for the persistence and wrap-around contract).
+// It returns the post-add value and whether the key was already present.
+func (th *Thread) Add(key, delta uint64) (uint64, bool) {
+	return th.lt.AddAt(th.t.bucketHead(key), key, delta)
 }
 
 // Delete removes key if present.

@@ -63,10 +63,10 @@ func TestBucketCountRoundsToPowerOfTwo(t *testing.T) {
 func TestAttachFindsExistingTable(t *testing.T) {
 	cfg := dstest.Configs(1<<16, false)[0]
 	tb := New(cfg, 8)
-	th := tb.newThread()
+	th := tb.Open(dstruct.ThreadOpts{})
 	th.Insert(42, 420)
 	tb2 := Attach(cfg)
-	th2 := tb2.newThread()
+	th2 := tb2.Open(dstruct.ThreadOpts{})
 	if v, ok := th2.Get(42); !ok || v != 420 {
 		t.Fatalf("Get(42) via Attach = (%d,%v), want (420,true)", v, ok)
 	}

@@ -68,32 +68,45 @@ type Thread struct {
 	c   dstruct.Ctx
 }
 
-// NewThread creates a per-goroutine handle.
-func (l *List) NewThread() dstruct.SetThread { return l.newThread() }
+// NewThread creates a standalone per-goroutine handle — the Set
+// interface's spelling of Open(ThreadOpts{}).
+func (l *List) NewThread() dstruct.SetThread { return l.Open(dstruct.ThreadOpts{}) }
 
-func (l *List) newThread() *Thread {
-	return &Thread{l: l, cfg: l.cfg, c: l.cfg.NewCtx(l.dom)}
+// Open creates a per-goroutine handle configured by o: zero fields take
+// the list's defaults (fresh pmem thread, fresh arena, configured
+// policy); see dstruct.ThreadOpts for what each override means. Only the
+// epoch-reclamation handle is never shared — each structure owns its
+// domain.
+func (l *List) Open(o dstruct.ThreadOpts) *Thread {
+	cfg := l.cfg
+	if o.Policy != nil {
+		cfg.Policy = o.Policy
+	}
+	t := o.T
+	if t == nil {
+		t = cfg.Heap.Mem().RegisterThread()
+	}
+	ar := o.Arena
+	if ar == nil {
+		ar = cfg.Heap.NewArena()
+	}
+	return &Thread{l: l, cfg: cfg, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
 }
 
 // NewThreadWith creates a handle that shares an existing pmem thread and
-// arena. A goroutine operating several structures at once (a store session
-// spanning N shards) must issue all of its instructions through one
-// pmem.Thread — one write-back queue, one statistics record, one crash
-// countdown — exactly as a single core would; only the epoch-reclamation
-// handle stays per-structure, since each structure owns its domain.
+// arena.
+//
+// Deprecated: use Open(dstruct.ThreadOpts{T: t, Arena: ar}).
 func (l *List) NewThreadWith(t *pmem.Thread, ar *pheap.Arena) *Thread {
-	return l.NewThreadWithPolicy(t, ar, l.cfg.Policy)
+	return l.Open(dstruct.ThreadOpts{T: t, Arena: ar})
 }
 
 // NewThreadWithPolicy is NewThreadWith with the thread's instructions
-// instrumented by pol instead of the list's configured policy. pol must
-// be layout-compatible with the configured policy (same stride) — the
-// intended use is a per-session wrapper over it, such as the deferred
-// group-commit skeleton (core.NewDeferred).
+// instrumented by pol instead of the list's configured policy.
+//
+// Deprecated: use Open(dstruct.ThreadOpts{T: t, Arena: ar, Policy: pol}).
 func (l *List) NewThreadWithPolicy(t *pmem.Thread, ar *pheap.Arena, pol core.Policy) *Thread {
-	cfg := l.cfg
-	cfg.Policy = pol
-	return &Thread{l: l, cfg: cfg, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
+	return l.Open(dstruct.ThreadOpts{T: t, Arena: ar, Policy: pol})
 }
 
 // Ctx exposes the thread's execution context (stats, crash injection).
@@ -226,6 +239,66 @@ func (t *Thread) Upsert(key, val uint64) bool { return t.UpsertAt(t.cfg.Root(), 
 // which blocks reuse until every current operation exits.
 func (t *Thread) UpsertAt(head pmem.Addr, key, val uint64) bool {
 	return t.insertAt(head, key, val, true)
+}
+
+// Add atomically adds delta to key's value (fetch-and-add semantics,
+// wrapping at 2^64), inserting key→delta if absent. It returns the
+// post-add value and whether the key was already present.
+func (t *Thread) Add(key, delta uint64) (uint64, bool) { return t.AddAt(t.cfg.Root(), key, delta) }
+
+// AddAt runs Add on the chain rooted at head. On a present key the
+// update is a single shared p-FAA on the value word — its leading fence
+// orders the locating loads, and the new value persists before the
+// operation completes, so recovery observes the counter before or after
+// the whole delta, never torn. Policies without RMW instructions
+// (link-and-persist) fall back to a p-CAS loop, which additionally
+// requires the counter to stay inside the instrumented payload
+// (core.PayloadMask): the dirty-bit discipline owns the high bits of
+// every word it stores. Adding to a node a concurrent Delete has marked
+// is benign for the same reason Upsert's overwrite is — the add
+// linearizes immediately before the delete. Decrement is delta's two's
+// complement.
+func (t *Thread) AddAt(head pmem.Addr, key, delta uint64) (uint64, bool) {
+	if key >= dstruct.KeyMax {
+		panic("list: key out of range")
+	}
+	cfg := &t.cfg
+	pol := cfg.Policy
+	t.c.H.Enter()
+	for {
+		predLink, curr, curKey := t.find(head, key)
+		if curr != pmem.NilAddr && curKey == key {
+			// Present: the response depends on the link that proves it.
+			t.transition(predLink)
+			vAddr := cfg.Field(curr, fVal)
+			var nv uint64
+			if pol.SupportsRMW() {
+				nv = pol.FAA(t.c.T, vAddr, delta, core.P) + delta
+			} else {
+				for {
+					old := pol.Load(t.c.T, vAddr, core.P)
+					nv = (old + delta) & core.PayloadMask
+					if pol.CAS(t.c.T, vAddr, old, nv, core.P) {
+						break
+					}
+				}
+			}
+			pol.Complete(t.c.T)
+			t.c.H.Exit()
+			return nv, true
+		}
+		// Absent: insert key→delta through the shared insert protocol.
+		t.transition(predLink)
+		node := t.c.Ar.Alloc(cfg.Words(NumFields))
+		t.initNode(node, key, delta, uint64(curr))
+		if pol.CAS(t.c.T, predLink, uint64(curr), uint64(node), core.P) {
+			pol.Complete(t.c.T)
+			t.c.H.Exit()
+			return delta, false
+		}
+		// Lost the race; the node was never shared, reuse it directly.
+		t.c.Ar.Free(node, cfg.Words(NumFields))
+	}
 }
 
 // Delete removes key if present. The marking CAS is the linearization

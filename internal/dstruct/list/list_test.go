@@ -43,7 +43,7 @@ func TestSequentialAgainstModel(t *testing.T) {
 	for _, cfg := range configs(1 << 18) {
 		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
 			l := New(cfg)
-			th := l.newThread()
+			th := l.Open(dstruct.ThreadOpts{})
 			model := make(map[uint64]uint64)
 			rng := rand.New(rand.NewSource(7))
 			for i := 0; i < 4000; i++ {
@@ -105,7 +105,7 @@ func TestConcurrentStress(t *testing.T) {
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					th := l.newThread()
+					th := l.Open(dstruct.ThreadOpts{})
 					rng := rand.New(rand.NewSource(int64(w)))
 					for i := 0; i < iters; i++ {
 						k := uint64(rng.Intn(32))
@@ -165,7 +165,7 @@ func TestRecoveryAfterCleanShutdown(t *testing.T) {
 		}
 		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
 			l := New(cfg)
-			th := l.newThread()
+			th := l.Open(dstruct.ThreadOpts{})
 			model := map[uint64]uint64{}
 			for i := uint64(0); i < 200; i++ {
 				th.Insert(i, i*10)
@@ -182,7 +182,7 @@ func TestRecoveryAfterCleanShutdown(t *testing.T) {
 			cfg2 := cfg
 			cfg2.Heap = pheap.Recover(mem2, wm)
 			l2 := Recover(cfg2)
-			th2 := l2.newThread()
+			th2 := l2.Open(dstruct.ThreadOpts{})
 			for k, v := range model {
 				if got, ok := th2.Get(k); !ok || got != v {
 					t.Fatalf("recovered Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
@@ -204,7 +204,7 @@ func TestRecoveryAfterCleanShutdown(t *testing.T) {
 func TestRecoveryIgnoresCycles(t *testing.T) {
 	cfg := configs(1 << 14)[0]
 	l := New(cfg)
-	th := l.newThread()
+	th := l.Open(dstruct.ThreadOpts{})
 	th.Insert(1, 1)
 	th.Insert(2, 2)
 	// Corrupt the image in volatile memory: make node2 point at node1.
@@ -224,7 +224,7 @@ func TestRecoveryIgnoresCycles(t *testing.T) {
 func TestQuickRandomOpsMatchModel(t *testing.T) {
 	cfg := configs(1 << 18)[0]
 	l := New(cfg)
-	th := l.newThread()
+	th := l.Open(dstruct.ThreadOpts{})
 	model := make(map[uint64]uint64)
 	f := func(ops []uint16) bool {
 		for _, op := range ops {
@@ -261,7 +261,7 @@ func TestQuickRandomOpsMatchModel(t *testing.T) {
 func TestKeyRangePanics(t *testing.T) {
 	cfg := configs(1 << 14)[0]
 	l := New(cfg)
-	th := l.newThread()
+	th := l.Open(dstruct.ThreadOpts{})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("oversized key accepted")
@@ -298,6 +298,106 @@ func TestDurableLinearizabilityEnumerated(t *testing.T) {
 	for _, cfg := range dstest.DLConfigs(true) {
 		t.Run(dstest.Label(cfg), func(t *testing.T) {
 			dstest.DLCheck(t, "list", cfg, inst, rec, 1)
+		})
+	}
+}
+
+// TestAddSequentialAgainstModel drives Add/Insert/Delete against a map
+// model, checking the fetch-and-add contract (post-add value, presence
+// flag, insert-if-absent) under every policy — including the p-CAS
+// fallback for link-and-persist, whose counters must stay inside the
+// instrumented payload.
+func TestAddSequentialAgainstModel(t *testing.T) {
+	for _, cfg := range configs(1 << 18) {
+		cfg := cfg
+		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
+			l := New(cfg)
+			th := l.Open(dstruct.ThreadOpts{})
+			model := make(map[uint64]uint64)
+			// Base offset keeps the counters positive, so the RMW (full
+			// 64-bit wrap) and CAS-loop (payload wrap) spellings agree.
+			const base = uint64(1) << 20
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 3000; i++ {
+				k := uint64(rng.Intn(24))
+				switch rng.Intn(4) {
+				case 0:
+					delta := uint64(1)
+					if rng.Intn(2) == 0 {
+						delta = ^uint64(0) // -1
+					}
+					_, inModel := model[k]
+					if !inModel {
+						delta = base // first touch plants the base offset
+					}
+					want := model[k] + delta
+					model[k] = want
+					got, existed := th.Add(k, delta)
+					if got != want || existed != inModel {
+						t.Fatalf("op %d: Add(%d,%d) = (%d,%v), model says (%d,%v)",
+							i, k, delta, got, existed, want, inModel)
+					}
+				case 1:
+					_, inModel := model[k]
+					if got := th.Delete(k); got != inModel {
+						t.Fatalf("op %d: Delete(%d) = %v, model says %v", i, k, got, inModel)
+					}
+					delete(model, k)
+				default:
+					v, ok := th.Get(k)
+					mv, inModel := model[k]
+					if ok != inModel || (ok && v != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), model says (%d,%v)", i, k, v, ok, mv, inModel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAddConcurrentSum checks the linearizable-counter property: N
+// workers issuing ±1 churn on a few hot keys leave exactly the net sum.
+func TestAddConcurrentSum(t *testing.T) {
+	for _, cfg := range configs(1 << 18) {
+		cfg := cfg
+		t.Run(cfg.Policy.Name()+"/"+cfg.Mode.String(), func(t *testing.T) {
+			l := New(cfg)
+			const workers, iters, keys = 4, 2000, 3
+			const base = uint64(1) << 20
+			init := l.Open(dstruct.ThreadOpts{})
+			for k := uint64(0); k < keys; k++ {
+				init.Insert(k, base)
+			}
+			var nets [workers][keys]uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := l.Open(dstruct.ThreadOpts{})
+					rng := rand.New(rand.NewSource(int64(100 + w)))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						delta := uint64(1)
+						if rng.Intn(2) == 0 {
+							delta = ^uint64(0)
+						}
+						th.Add(k, delta)
+						nets[w][k] += delta
+					}
+				}(w)
+			}
+			wg.Wait()
+			snap := l.Snapshot()
+			for k := uint64(0); k < keys; k++ {
+				want := base
+				for w := 0; w < workers; w++ {
+					want += nets[w][k]
+				}
+				if snap[k] != want {
+					t.Fatalf("key %d: recovered %d, want %d", k, snap[k], want)
+				}
+			}
 		})
 	}
 }

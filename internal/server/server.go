@@ -343,13 +343,13 @@ func (s *Server) ServeConn(c net.Conn) {
 	}
 }
 
-// Batcher executes request batches against one BatchSession with group
-// commit. One per connection (it is as single-goroutine as the session
+// Batcher executes request batches against one Batched-mode store
+// session with group commit. One per connection (it is as single-goroutine as the session
 // it wraps); also the entry point the crash batteries drive directly,
 // bypassing sockets.
 type Batcher struct {
 	srv  *Server
-	bs   *store.BatchSession
+	bs   *store.Sess[[]byte]
 	bySh [][]int // per-shard request indices, reused across batches
 	id   int     // metrics counter stripe (stable per batcher)
 
@@ -360,11 +360,11 @@ type Batcher struct {
 	lastPWBs, lastPFences uint64
 }
 
-// NewBatcher registers a new batch executor (one BatchSession).
+// NewBatcher registers a new batch executor (one Batched-mode session).
 func (s *Server) NewBatcher() *Batcher {
 	return &Batcher{
 		srv:  s,
-		bs:   s.st.NewBatchSession(),
+		bs:   store.Open[[]byte](s.st, store.Batched),
 		bySh: make([][]int, s.st.NumShards()),
 		id:   int(s.batcherIDs.Add(1) - 1),
 	}
@@ -392,7 +392,7 @@ func (s *Server) putBatcher(b *Batcher) {
 
 // Session exposes the underlying batch session (crash injection,
 // stats).
-func (b *Batcher) Session() *store.BatchSession { return b.bs }
+func (b *Batcher) Session() *store.Sess[[]byte] { return b.bs }
 
 // Exec executes one pipeline batch: requests are grouped per shard in
 // stable order (same-key requests keep their pipeline order — one key
@@ -439,18 +439,18 @@ func (b *Batcher) Exec(reqs []Request, resps []Response) {
 			resp.Status, resp.Val, resp.Flag, resp.Body = StatusOK, 0, false, nil
 			switch req.Op {
 			case OpGet:
-				v, ok := b.bs.GetBytes(req.Key)
+				v, ok := b.bs.Get(req.Key)
 				if ok {
 					resp.Val = v
 				} else {
 					resp.Status = StatusNotFound
 				}
 			case OpPut:
-				resp.Flag = b.bs.PutBytes(req.Key, req.Val)
+				resp.Flag = b.bs.Put(req.Key, req.Val)
 			case OpDelete:
-				resp.Flag = b.bs.DeleteBytes(req.Key)
+				resp.Flag = b.bs.Delete(req.Key)
 			case OpContains:
-				resp.Flag = b.bs.ContainsBytes(req.Key)
+				resp.Flag = b.bs.Contains(req.Key)
 			}
 		}
 	}

@@ -176,10 +176,10 @@ func TestServerAckImpliesPersisted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := st2.NewSession()
+	sess := store.Open[[]byte](st2, store.Direct)
 	for i := 0; i < 32; i++ {
 		key := [2]byte{'d', byte(i)}
-		if v, ok := sess.GetBytes(key[:]); !ok || v != uint64(i) {
+		if v, ok := sess.Get(key[:]); !ok || v != uint64(i) {
 			t.Fatalf("acknowledged key %d lost across crash (got %d,%v)", i, v, ok)
 		}
 	}

@@ -1,128 +1,84 @@
 package store
 
 import (
-	"flit/internal/core"
-	"flit/internal/dstruct/hashtable"
-	"flit/internal/pheap"
 	"flit/internal/pmem"
 )
 
-// BatchSession is a per-goroutine store handle executing under the
-// group-commit batch skeleton (core.Deferred): operations apply and
-// flush immediately but their trailing persistence — the fence, and
-// under FliT the untagging — is held until Commit, which issues one
-// fence for the whole batch via the thread's coalescing write-back
-// queue. The contract is the server's ack rule: results of operations
-// executed since the last Commit MUST NOT be exposed (acknowledged,
-// returned to a client, recorded as completed) until Commit returns.
+// BatchSession is the legacy per-goroutine group-commit handle (see the
+// Batched session mode for the semantics: operations apply and flush
+// immediately, the fence and untagging are held until Commit, and
+// results MUST NOT be exposed before Commit returns).
 //
-// Reads are safe to expose early in principle — but only Commit orders
-// the flush obligations their traversals picked up, so the uniform rule
-// stays: expose nothing before Commit.
-//
-// Like Session, a BatchSession is not safe for concurrent use; create
-// one per goroutine. Concurrent BatchSessions (and plain Sessions) on
-// one store compose: in-flight deferred stores stay tagged, so other
-// sessions' p-loads carry their flush obligation exactly as for any
-// pending p-store.
-type BatchSession struct {
-	st      *Store
-	t       *pmem.Thread
-	ar      *pheap.Arena
-	d       *core.Deferred
-	shards  []*hashtable.Thread
-	pending int
-}
+// Deprecated: use Open[string](s, Batched) or Open[[]byte](s, Batched) —
+// one generic session replaces the Get/GetBytes duplication.
+// BatchSession is kept so external embedders compile unchanged; no
+// in-repo caller remains.
+type BatchSession struct{ c *sessionCore }
 
 // NewBatchSession registers a new per-goroutine group-commit session.
 // Every policy is supported; policies with nothing to defer (no-persist)
 // degrade to plain execution with a no-op Commit.
+//
+// Deprecated: use Open[string](s, Batched) or Open[[]byte](s, Batched).
 func (s *Store) NewBatchSession() *BatchSession {
-	t := s.mem.RegisterThread()
-	ar := s.heap.NewArena()
-	d := core.NewDeferred(s.policy)
-	hts := make([]*hashtable.Thread, len(s.shards))
-	for i, sh := range s.shards {
-		hts[i] = sh.NewThreadWithPolicy(t, ar, d)
-	}
-	return &BatchSession{st: s, t: t, ar: ar, d: d, shards: hts}
+	return &BatchSession{c: newSessionCore(s, Batched)}
 }
 
 // Thread exposes the session's pmem thread (stats, crash injection).
-func (s *BatchSession) Thread() *pmem.Thread { return s.t }
+func (s *BatchSession) Thread() *pmem.Thread { return s.c.t }
 
 // Pending reports the operations executed since the last Commit.
-func (s *BatchSession) Pending() int { return s.pending }
+func (s *BatchSession) Pending() int { return s.c.pending }
 
 // Commit is the group commit: one fence persists every operation
 // executed since the previous Commit (each distinct dirty line drained
 // exactly once), then the batch's deferred flit-tags are released. It
 // returns the number of cache lines drained. Only after Commit may the
 // batch's results be exposed.
-func (s *BatchSession) Commit() int {
-	s.pending = 0
-	return s.d.Flush(s.t)
-}
+func (s *BatchSession) Commit() int { return s.c.commit() }
 
 // Get returns the value stored under key, if present.
 func (s *BatchSession) Get(key string) (uint64, bool) {
-	s.pending++
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Get(h)
+	r := s.c.do1(OpGet, hashKey(key), 0)
+	return r.Val, r.Ok
 }
 
 // Put stores key→val (masked to ValueMask), reporting whether the key
 // was newly inserted.
 func (s *BatchSession) Put(key string, val uint64) bool {
-	s.pending++
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+	return s.c.do1(OpPut, hashKey(key), val).Ok
 }
 
 // Delete removes key, reporting whether it was present.
 func (s *BatchSession) Delete(key string) bool {
-	s.pending++
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Delete(h)
+	return s.c.do1(OpDelete, hashKey(key), 0).Ok
 }
 
 // Contains reports whether key is present.
 func (s *BatchSession) Contains(key string) bool {
-	s.pending++
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Contains(h)
+	return s.c.do1(OpContains, hashKey(key), 0).Ok
 }
-
-// GetBytes, PutBytes, DeleteBytes and ContainsBytes are the byte-slice
-// spellings (see Session), for op loops that reuse one key buffer.
 
 // GetBytes returns the value stored under key, if present.
 func (s *BatchSession) GetBytes(key []byte) (uint64, bool) {
-	s.pending++
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Get(h)
+	r := s.c.do1(OpGet, hashKey(key), 0)
+	return r.Val, r.Ok
 }
 
 // PutBytes stores key→val (masked to ValueMask), reporting whether the
 // key was newly inserted.
 func (s *BatchSession) PutBytes(key []byte, val uint64) bool {
-	s.pending++
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+	return s.c.do1(OpPut, hashKey(key), val).Ok
 }
 
 // DeleteBytes removes key, reporting whether it was present.
 func (s *BatchSession) DeleteBytes(key []byte) bool {
-	s.pending++
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Delete(h)
+	return s.c.do1(OpDelete, hashKey(key), 0).Ok
 }
 
 // ContainsBytes reports whether key is present.
 func (s *BatchSession) ContainsBytes(key []byte) bool {
-	s.pending++
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Contains(h)
+	return s.c.do1(OpContains, hashKey(key), 0).Ok
 }
 
 // ShardOf returns the shard index serving key — the grouping key the

@@ -27,8 +27,8 @@ func newBatchStore(t *testing.T, policy string) *store.Store {
 // volatile state, shared flit-counter tables).
 func TestBatchSessionSemantics(t *testing.T) {
 	st := newBatchStore(t, core.PolicyHT)
-	bs := st.NewBatchSession()
-	plain := st.NewSession()
+	bs := store.Open[string](st, store.Batched)
+	plain := store.Open[string](st, store.Direct)
 
 	if !bs.Put("a", 1) {
 		t.Fatal("fresh Put reported existing key")
@@ -55,8 +55,8 @@ func TestBatchSessionSemantics(t *testing.T) {
 		t.Fatalf("plain session Get(a) = %d,%v want 2,true", v, ok)
 	}
 	plain.Put("c", 3)
-	if v, ok := bs.GetBytes([]byte("c")); !ok || v != 3 {
-		t.Fatalf("batch session GetBytes(c) = %d,%v want 3,true", v, ok)
+	if v, ok := bs.Get("c"); !ok || v != 3 {
+		t.Fatalf("batch session Get(c) = %d,%v want 3,true", v, ok)
 	}
 	if !bs.Delete("a") || bs.Delete("a") {
 		t.Fatal("Delete semantics broken")
@@ -71,7 +71,7 @@ func TestBatchSessionSemantics(t *testing.T) {
 // way; only the ack, not the durability, waits for Commit there.)
 func TestBatchCommitIsTheDurabilityBoundary(t *testing.T) {
 	st := newBatchStore(t, core.PolicyHT)
-	bs := st.NewBatchSession()
+	bs := store.Open[string](st, store.Batched)
 
 	bs.Put("committed", 1)
 	bs.Put("rollback", 1)
@@ -88,7 +88,7 @@ func TestBatchCommitIsTheDurabilityBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := st2.NewSession()
+	sess := store.Open[string](st2, store.Direct)
 	if v, ok := sess.Get("committed"); !ok || v != 2 {
 		t.Fatalf("committed overwrite lost: Get = %d,%v want 2,true", v, ok)
 	}
@@ -104,12 +104,12 @@ func TestBatchCommitIsTheDurabilityBoundary(t *testing.T) {
 // dlcheck quiescence oracle at service granularity).
 func TestBatchTagsQuiesce(t *testing.T) {
 	st := newBatchStore(t, core.PolicyHT)
-	bs := st.NewBatchSession()
+	bs := store.Open[[]byte](st, store.Batched)
 	for i := 0; i < 64; i++ {
 		key := []byte{'k', byte(i)}
-		bs.PutBytes(key, uint64(i))
+		bs.Put(key, uint64(i))
 		if i%3 == 0 {
-			bs.DeleteBytes(key)
+			bs.Delete(key)
 		}
 	}
 	bs.Commit()
@@ -136,13 +136,13 @@ func TestBatchAmortizesFences(t *testing.T) {
 	}
 
 	base := newBatchStore(t, core.PolicyHT)
-	sess := base.NewSession()
+	sess := store.Open[[]byte](base, store.Direct)
 	base.Mem().ResetStats()
-	ops(func(k []byte, v uint64) { sess.PutBytes(k, v) }, func(k []byte) { sess.GetBytes(k) })
+	ops(func(k []byte, v uint64) { sess.Put(k, v) }, func(k []byte) { sess.Get(k) })
 	unbatched := base.Mem().TotalStats()
 
 	batched := newBatchStore(t, core.PolicyHT)
-	bs := batched.NewBatchSession()
+	bs := store.Open[[]byte](batched, store.Batched)
 	batched.Mem().ResetStats()
 	n := 0
 	commitEvery := func() {
@@ -151,8 +151,8 @@ func TestBatchAmortizesFences(t *testing.T) {
 		}
 	}
 	ops(
-		func(k []byte, v uint64) { bs.PutBytes(k, v); commitEvery() },
-		func(k []byte) { bs.GetBytes(k); commitEvery() },
+		func(k []byte, v uint64) { bs.Put(k, v); commitEvery() },
+		func(k []byte) { bs.Get(k); commitEvery() },
 	)
 	bs.Commit()
 	grouped := batched.Mem().TotalStats()
@@ -181,17 +181,17 @@ func TestSnapshotConcurrentMemorySafety(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sess := st.NewSession()
+			sess := store.Open[[]byte](st, store.Direct)
 			var key [3]byte
 			for i := 0; i < opsEach; i++ {
 				key[0], key[1], key[2] = byte(w), byte(i), byte(i>>8)
 				switch i % 3 {
 				case 0:
-					sess.PutBytes(key[:], uint64(i))
+					sess.Put(key[:], uint64(i))
 				case 1:
-					sess.GetBytes(key[:])
+					sess.Get(key[:])
 				default:
-					sess.DeleteBytes(key[:])
+					sess.Delete(key[:])
 				}
 			}
 		}(w)

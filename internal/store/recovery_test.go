@@ -30,7 +30,7 @@ func TestRecoverWithStaleWatermark(t *testing.T) {
 		t.Fatal(err)
 	}
 	const records = 500
-	sess := st.NewSession()
+	sess := store.Open[string](st, store.Direct)
 	for i := 0; i < records; i++ {
 		sess.Put(fmt.Sprintf("wm-key-%d", i), uint64(i))
 	}

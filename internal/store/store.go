@@ -23,6 +23,7 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flit/internal/core"
@@ -81,6 +82,18 @@ type Options struct {
 	// smoke matrices — anything that never reads a latency number — run
 	// several times faster under it.
 	VirtualClock bool
+	// CombineWindow is the per-shard flat combiner's target operation
+	// count per combined window (default 32): the combiner lingers,
+	// re-sweeping the announcement slots, until it has collected this
+	// many operations or the shard goes idle, then commits the window
+	// under one fence. Larger windows amortize the fence further at the
+	// cost of announcement latency.
+	CombineWindow int
+	// CombineNoCoalesce disables VSA-style net-delta coalescing in the
+	// combiner: every OpAdd executes individually (and returns its real
+	// result). The bench matrix uses it as the honest baseline the
+	// coalesced mix-G cells are compared against.
+	CombineNoCoalesce bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +114,9 @@ func (o Options) withDefaults() Options {
 	o.Buckets = core.CeilPow2(o.Buckets)
 	if o.Policy == "" {
 		o.Policy = core.PolicyHT
+	}
+	if o.CombineWindow == 0 {
+		o.CombineWindow = 32
 	}
 	return o
 }
@@ -127,6 +143,14 @@ type Store struct {
 	// store, when it came from Recover rather than New — the observability
 	// layer exposes it (flit_recovery_seconds per shard on /metrics).
 	recovered *RecoveryStats
+
+	// Flat-combining state (see combine.go), built lazily by the first
+	// Combined session. combCrashed is the whole-process crash flag: a
+	// combiner whose crash countdown fires mid-window sets it, and every
+	// session touching the store thereafter dies with pmem.ErrCrashed.
+	combineOnce sync.Once
+	combiners   []*combiner
+	combCrashed atomic.Bool
 }
 
 // New builds a fresh store: simulated memory, heap with one root per
@@ -235,7 +259,7 @@ func HashKey(key string) uint64 { return hashKey(key) }
 // string conversion, so hot op loops can reuse one key buffer.
 func HashKeyBytes(key []byte) uint64 { return hashKey(key) }
 
-func hashKey[K string | []byte](key K) uint64 {
+func hashKey[K Key](key K) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -249,84 +273,67 @@ func hashKey[K string | []byte](key K) uint64 {
 
 func (s *Store) shardOf(h uint64) int { return int(h % uint64(len(s.shards))) }
 
-// Session is a per-goroutine handle to the store. All shard handles share
-// one pmem thread (one write-back queue, one statistics record, one crash
-// countdown) and one arena, as a single core would. Not safe for
-// concurrent use; create one per goroutine.
-type Session struct {
-	st     *Store
-	t      *pmem.Thread
-	ar     *pheap.Arena
-	shards []*hashtable.Thread
-}
+// Session is the legacy per-goroutine direct-mode handle: string and
+// byte-slice method pairs over one execution context.
+//
+// Deprecated: use Open[string](s, Direct) or Open[[]byte](s, Direct) —
+// one generic session replaces the Get/GetBytes duplication. Session is
+// kept so external embedders compile unchanged; no in-repo caller
+// remains.
+type Session struct{ c *sessionCore }
 
-// NewSession registers a new per-goroutine session.
+// NewSession registers a new per-goroutine direct-mode session.
+//
+// Deprecated: use Open[string](s, Direct) or Open[[]byte](s, Direct).
 func (s *Store) NewSession() *Session {
-	t := s.mem.RegisterThread()
-	ar := s.heap.NewArena()
-	hts := make([]*hashtable.Thread, len(s.shards))
-	for i, sh := range s.shards {
-		hts[i] = sh.NewThreadWith(t, ar)
-	}
-	return &Session{st: s, t: t, ar: ar, shards: hts}
+	return &Session{c: newSessionCore(s, Direct)}
 }
 
 // Thread exposes the session's pmem thread (stats, crash injection).
-func (s *Session) Thread() *pmem.Thread { return s.t }
+func (s *Session) Thread() *pmem.Thread { return s.c.t }
 
 // Get returns the value stored under key, if present.
 func (s *Session) Get(key string) (uint64, bool) {
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Get(h)
+	r := s.c.do1(OpGet, hashKey(key), 0)
+	return r.Val, r.Ok
 }
 
 // Put stores key→val (masked to ValueMask), inserting or durably
 // overwriting in place; it reports whether the key was newly inserted.
 func (s *Session) Put(key string, val uint64) bool {
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+	return s.c.do1(OpPut, hashKey(key), val).Ok
 }
 
 // Delete removes key; it reports whether the key was present.
 func (s *Session) Delete(key string) bool {
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Delete(h)
+	return s.c.do1(OpDelete, hashKey(key), 0).Ok
 }
 
 // Contains reports whether key is present.
 func (s *Session) Contains(key string) bool {
-	h := HashKey(key)
-	return s.shards[s.st.shardOf(h)].Contains(h)
+	return s.c.do1(OpContains, hashKey(key), 0).Ok
 }
-
-// GetBytes, PutBytes, DeleteBytes and ContainsBytes are the byte-slice
-// spellings of the session operations: same hashed keyspace
-// (HashKeyBytes ≡ HashKey on equal bytes), but callers can reuse one
-// key buffer across operations, keeping the op loop allocation-free.
 
 // GetBytes returns the value stored under key, if present.
 func (s *Session) GetBytes(key []byte) (uint64, bool) {
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Get(h)
+	r := s.c.do1(OpGet, hashKey(key), 0)
+	return r.Val, r.Ok
 }
 
 // PutBytes stores key→val (masked to ValueMask), reporting whether the
 // key was newly inserted.
 func (s *Session) PutBytes(key []byte, val uint64) bool {
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Put(h, val&ValueMask)
+	return s.c.do1(OpPut, hashKey(key), val).Ok
 }
 
 // DeleteBytes removes key, reporting whether it was present.
 func (s *Session) DeleteBytes(key []byte) bool {
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Delete(h)
+	return s.c.do1(OpDelete, hashKey(key), 0).Ok
 }
 
 // ContainsBytes reports whether key is present.
 func (s *Session) ContainsBytes(key []byte) bool {
-	h := HashKeyBytes(key)
-	return s.shards[s.st.shardOf(h)].Contains(h)
+	return s.c.do1(OpContains, hashKey(key), 0).Ok
 }
 
 // Snapshot unions all shard snapshots, keyed by hashed key (test and

@@ -52,26 +52,27 @@ func TestHashKeyBytesMatchesString(t *testing.T) {
 	}
 }
 
-// TestByteSessionAPIMatchesString: the byte-key session operations hit
-// the same hashed keyspace as the string ones.
-func TestByteSessionAPIMatchesString(t *testing.T) {
+// TestByteSessionMatchesString: byte-keyed and string-keyed sessions
+// hit the same hashed keyspace.
+func TestByteSessionMatchesString(t *testing.T) {
 	st := mustNew(t, Options{Shards: 4, ExpectedKeys: 1 << 10})
-	sess := st.NewSession()
-	if !sess.PutBytes([]byte("k1"), 7) {
-		t.Fatal("PutBytes of a fresh key reported overwrite")
+	bs := Open[[]byte](st, Direct)
+	ss := Open[string](st, Direct)
+	if !bs.Put([]byte("k1"), 7) {
+		t.Fatal("byte Put of a fresh key reported overwrite")
 	}
-	if v, ok := sess.Get("k1"); !ok || v != 7 {
-		t.Fatalf("Get after PutBytes = (%d,%v), want (7,true)", v, ok)
+	if v, ok := ss.Get("k1"); !ok || v != 7 {
+		t.Fatalf("string Get after byte Put = (%d,%v), want (7,true)", v, ok)
 	}
-	sess.Put("k2", 9)
-	if v, ok := sess.GetBytes([]byte("k2")); !ok || v != 9 {
-		t.Fatalf("GetBytes after Put = (%d,%v), want (9,true)", v, ok)
+	ss.Put("k2", 9)
+	if v, ok := bs.Get([]byte("k2")); !ok || v != 9 {
+		t.Fatalf("byte Get after string Put = (%d,%v), want (9,true)", v, ok)
 	}
-	if !sess.ContainsBytes([]byte("k1")) || sess.ContainsBytes([]byte("nope")) {
-		t.Fatal("ContainsBytes disagrees with contents")
+	if !bs.Contains([]byte("k1")) || bs.Contains([]byte("nope")) {
+		t.Fatal("byte Contains disagrees with contents")
 	}
-	if !sess.DeleteBytes([]byte("k1")) || sess.Contains("k1") {
-		t.Fatal("DeleteBytes did not remove the key")
+	if !bs.Delete([]byte("k1")) || ss.Contains("k1") {
+		t.Fatal("byte Delete did not remove the key")
 	}
 }
 
@@ -80,7 +81,7 @@ func TestSequentialAgainstModel(t *testing.T) {
 		for _, shards := range []int{1, 4, 8} {
 			t.Run(fmt.Sprintf("%s/shards=%d", policy, shards), func(t *testing.T) {
 				st := mustNew(t, testOptions(shards, policy))
-				sess := st.NewSession()
+				sess := Open[string](st, Direct)
 				model := make(map[string]uint64)
 				rng := rand.New(rand.NewSource(7))
 				for i := 0; i < 3000; i++ {
@@ -123,7 +124,7 @@ func TestSequentialAgainstModel(t *testing.T) {
 
 func TestPutOverwritesDurably(t *testing.T) {
 	st := mustNew(t, testOptions(4, core.PolicyHT))
-	sess := st.NewSession()
+	sess := Open[string](st, Direct)
 	if !sess.Put("k", 1) {
 		t.Fatal("first Put should insert")
 	}
@@ -140,7 +141,7 @@ func TestPutOverwritesDurably(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := st2.NewSession().Get("k"); !ok || v != 2 {
+	if v, ok := Open[string](st2, Direct).Get("k"); !ok || v != 2 {
 		t.Fatalf("recovered Get = (%d,%v), want (2,true): overwrite was not durable", v, ok)
 	}
 }
@@ -159,7 +160,7 @@ func TestUpsertValueDurability(t *testing.T) {
 					o := testOptions(4, policy)
 					o.Mode = mode
 					st := mustNew(t, o)
-					sess := st.NewSession()
+					sess := Open[string](st, Direct)
 					sess.Put("k", v1)
 
 					sess.Thread().SetCrashAfter(countdown)
@@ -172,7 +173,7 @@ func TestUpsertValueDurability(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got, ok := st2.NewSession().Get("k")
+					got, ok := Open[string](st2, Direct).Get("k")
 					if !ok {
 						t.Fatalf("countdown %d: key vanished across the overwrite crash", countdown)
 					}
@@ -194,7 +195,7 @@ func TestConcurrentSessions(t *testing.T) {
 	done := make(chan int, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
-			sess := st.NewSession()
+			sess := Open[string](st, Direct)
 			ins := 0
 			rng := rand.New(rand.NewSource(int64(w + 100)))
 			for i := 0; i < 2000; i++ {
@@ -229,7 +230,7 @@ func TestParallelRecovery(t *testing.T) {
 		t.Run(policy, func(t *testing.T) {
 			o := testOptions(8, policy)
 			st := mustNew(t, o)
-			sess := st.NewSession()
+			sess := Open[string](st, Direct)
 			model := make(map[uint64]uint64)
 			for i := 0; i < 2000; i++ {
 				key := fmt.Sprintf("user%05d", i)
@@ -264,7 +265,7 @@ func TestParallelRecovery(t *testing.T) {
 				}
 			}
 			// The recovered store must be fully operational.
-			s2 := st2.NewSession()
+			s2 := Open[string](st2, Direct)
 			if !s2.Put("post-recovery", 7) || !s2.Contains("post-recovery") || !s2.Delete("post-recovery") {
 				t.Fatal("recovered store not operational")
 			}
@@ -293,7 +294,7 @@ func TestSuperblockSurvivesImmediateCrash(t *testing.T) {
 	if rs.Keys != 0 {
 		t.Fatalf("empty store recovered %d keys", rs.Keys)
 	}
-	if !st2.NewSession().Put("a", 1) {
+	if !Open[string](st2, Direct).Put("a", 1) {
 		t.Fatal("recovered empty store rejected an insert")
 	}
 }
@@ -301,7 +302,7 @@ func TestSuperblockSurvivesImmediateCrash(t *testing.T) {
 func TestSessionsShareOneThread(t *testing.T) {
 	st := mustNew(t, testOptions(8, core.PolicyHT))
 	before := len(st.Mem().Threads())
-	sess := st.NewSession()
+	sess := Open[string](st, Direct)
 	if got := len(st.Mem().Threads()) - before; got != 1 {
 		t.Fatalf("one session registered %d pmem threads, want 1 (shared across shards)", got)
 	}

@@ -15,7 +15,7 @@ func TestZipfWidensWithKeyspace(t *testing.T) {
 	const records = 4
 	var limit atomic.Uint64
 	limit.Store(records)
-	g, err := NewGenerator(Mix{Name: "reads", Read: 100}, DistZipfian, 0, records, &limit, 0, 1)
+	g, err := NewGenerator(Mix{Name: "reads", Read: 100}, DistZipfian, 0, records, &limit, 0, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestLatestWidensWithKeyspace(t *testing.T) {
 	const records = 8
 	var limit atomic.Uint64
 	limit.Store(records)
-	g, err := NewGenerator(Mix{Name: "reads", Read: 100}, DistLatest, 0, records, &limit, 0, 2)
+	g, err := NewGenerator(Mix{Name: "reads", Read: 100}, DistLatest, 0, records, &limit, 0, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestMixValidation(t *testing.T) {
 		{"empty", Mix{Name: "empty"}, false, "sums to 0"},
 		{"negative", Mix{Name: "neg", Read: 150, Update: -50}, false, "negative"},
 	} {
-		_, err := NewGenerator(tc.mix, DistUniform, 0, 16, &limit, 0, 1)
+		_, err := NewGenerator(tc.mix, DistUniform, 0, 16, &limit, 0, 0, 1)
 		if tc.ok && err != nil {
 			t.Errorf("%s: unexpected error %v", tc.name, err)
 		}

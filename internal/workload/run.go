@@ -27,9 +27,24 @@ type Spec struct {
 	// threads) instead of back-to-back, and latency is measured from the
 	// scheduled arrival — queueing delay under overload is charged to
 	// the store, the coordinated-omission-free spelling. Zero keeps the
-	// closed loop.
+	// closed loop. Incompatible with Depth > 1.
 	Rate float64
 	Seed int64
+
+	// Mode selects the session mode each worker runs under (zero value:
+	// store.Direct). Batched workers commit once per window; Combined
+	// workers announce each window to the per-shard flat combiners.
+	Mode store.SessionMode
+	// Depth is the operations per window (default 1): workers collect
+	// Depth generated ops and execute them as one vector Apply. With
+	// Depth > 1 the latency histogram records one sample per window —
+	// window completion latency — and RMW decomposes into a Get and a
+	// Put slot (a vector window cannot thread one op's read into its
+	// write).
+	Depth int
+	// HotKeys, when non-zero, confines non-insert key draws to the
+	// uniform window [0, HotKeys) — mix G's contention knob.
+	HotKeys uint64
 }
 
 // Result aggregates one run: throughput, tail latency, flush behaviour.
@@ -54,6 +69,7 @@ type Result struct {
 	Inserts uint64 `json:"inserts"`
 	RMWs    uint64 `json:"rmws"`
 	Scans   uint64 `json:"scans"`
+	Adds    uint64 `json:"adds,omitempty"`
 
 	PWBs      uint64  `json:"pwbs"`
 	PFences   uint64  `json:"pfences"`
@@ -98,11 +114,11 @@ func Load(st *store.Store, records uint64, threads int) (time.Duration, float64)
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			sess := st.NewSession()
+			sess := store.Open[[]byte](st, store.Direct)
 			keyBuf := make([]byte, 0, len(KeyPrefix)+20)
 			for i := uint64(t); i < records; i += uint64(threads) {
 				keyBuf = AppendKey(keyBuf[:0], i)
-				sess.PutBytes(keyBuf, i)
+				sess.Put(keyBuf, i)
 			}
 		}(t)
 	}
@@ -130,12 +146,22 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 	if sp.Dist == "" {
 		sp.Dist = DistUniform
 	}
+	if sp.Depth < 1 {
+		sp.Depth = 1
+	}
+	if sp.Depth > 1 && sp.Rate > 0 {
+		return Result{}, fmt.Errorf("workload: open-loop arrivals (Rate) and windowed execution (Depth > 1) are mutually exclusive")
+	}
+	scanMax := sp.ScanMax
+	if scanMax < 1 {
+		scanMax = 16
+	}
 
 	var limit atomic.Uint64
 	limit.Store(sp.Records)
 	gens := make([]*Generator, sp.Threads)
 	for t := range gens {
-		g, err := NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, sp.Seed+int64(t)*7919)
+		g, err := NewGenerator(mix, sp.Dist, sp.ZipfS, sp.Records, &limit, sp.ScanMax, sp.HotKeys, sp.Seed+int64(t)*7919)
 		if err != nil {
 			return Result{}, err
 		}
@@ -161,10 +187,14 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			sess := st.NewSession()
+			sess := store.Open[[]byte](st, sp.Mode)
 			g := gens[t]
 			h := NewHist()
 			hists[t] = h
+			if sp.Depth > 1 {
+				runWindowed(sess, g, sp, h, &limit, kindCounts[:], t, deadline)
+				return
+			}
 			// The op loop is allocation-free: keys render into one reused
 			// buffer (AppendKey + the byte-key session API), and latency is
 			// taken from one clock reading per op — consecutive timestamps
@@ -188,6 +218,7 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 				step, off = OpenLoopSchedule(sp.Rate, t, sp.Threads)
 				next = start.Add(off)
 			}
+			batched := sp.Mode == store.Batched
 			prev := time.Now()
 			for {
 				if open {
@@ -203,19 +234,26 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 				op := g.Next()
 				switch op.Kind {
 				case Read:
-					sess.GetBytes(key(op.Key))
+					sess.Get(key(op.Key))
 				case Update:
-					sess.PutBytes(key(op.Key), op.Key^uint64(t))
+					sess.Put(key(op.Key), op.Key^uint64(t))
 				case Insert:
-					sess.PutBytes(key(op.Key), op.Key)
+					sess.Put(key(op.Key), op.Key)
 				case ReadModifyWrite:
-					v, _ := sess.GetBytes(key(op.Key))
-					sess.PutBytes(key(op.Key), v+1)
+					v, _ := sess.Get(key(op.Key))
+					sess.Put(key(op.Key), v+1)
 				case Scan:
 					n := limit.Load()
 					for j := uint64(0); j < uint64(op.ScanLen); j++ {
-						sess.GetBytes(key((op.Key + j) % n))
+						sess.Get(key((op.Key + j) % n))
 					}
+				case Add:
+					sess.Add(key(op.Key), op.Delta)
+				}
+				if batched {
+					// Depth-1 batched degenerates to a commit per op; the
+					// group-commit win needs Depth > 1.
+					sess.Commit()
 				}
 				now := time.Now()
 				if open {
@@ -246,15 +284,23 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 		return s
 	}
 	stats := st.Mem().TotalStats()
+	var ops uint64
+	for k := range kindCounts {
+		ops += sum(kindCounts[k])
+	}
 	res := Result{
 		Mix: sp.Mix, Dist: sp.Dist, Threads: sp.Threads, Rate: sp.Rate,
-		Elapsed: elapsed, Ops: all.Count(),
+		// Ops counts generated operations (a scan burst is one op), which
+		// equals the histogram count at Depth 1; windowed runs record one
+		// latency sample per window, so the histogram undercounts there.
+		Elapsed: elapsed, Ops: ops,
 		P50: all.Quantile(0.50), P95: all.Quantile(0.95), P99: all.Quantile(0.99), Max: all.Max(),
 		Reads:   sum(kindCounts[Read]),
 		Updates: sum(kindCounts[Update]),
 		Inserts: sum(kindCounts[Insert]),
 		RMWs:    sum(kindCounts[ReadModifyWrite]),
 		Scans:   sum(kindCounts[Scan]),
+		Adds:    sum(kindCounts[Add]),
 		PWBs:    stats.PWBs,
 		PFences: stats.PFences,
 	}
@@ -270,4 +316,62 @@ func Run(st *store.Store, sp Spec) (Result, error) {
 		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Ops)
 	}
 	return res, nil
+}
+
+// runWindowed is the Depth>1 worker loop: collect a window of generated
+// ops, execute it as one vector Apply, commit (Batched) and record the
+// window's completion latency as one histogram sample. RMW decomposes
+// into a Get slot and a Put slot; a Scan expands into its point-read
+// burst; both may run a window a few slots past Depth rather than split
+// an operation across windows.
+func runWindowed(sess *store.Sess[[]byte], g *Generator, sp Spec, h *Hist, limit *atomic.Uint64, kindCounts [][]uint64, t int, deadline time.Time) {
+	scanMax := sp.ScanMax
+	if scanMax < 1 {
+		scanMax = 16
+	}
+	maxWin := sp.Depth + scanMax
+	ops := make([]store.Op[[]byte], 0, maxWin)
+	res := make([]store.Result, maxWin)
+	bufs := make([][]byte, maxWin)
+	for i := range bufs {
+		bufs[i] = make([]byte, 0, len(KeyPrefix)+20)
+	}
+	key := func(slot int, i uint64) []byte {
+		bufs[slot] = AppendKey(bufs[slot][:0], i)
+		return bufs[slot]
+	}
+	batched := sp.Mode == store.Batched
+	prev := time.Now()
+	for !prev.After(deadline) {
+		ops = ops[:0]
+		for len(ops) < sp.Depth {
+			op := g.Next()
+			switch op.Kind {
+			case Read:
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpGet, Key: key(len(ops), op.Key)})
+			case Update:
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpPut, Key: key(len(ops), op.Key), Val: op.Key ^ uint64(t)})
+			case Insert:
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpPut, Key: key(len(ops), op.Key), Val: op.Key})
+			case ReadModifyWrite:
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpGet, Key: key(len(ops), op.Key)})
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpPut, Key: key(len(ops), op.Key), Val: op.Key + 1})
+			case Scan:
+				n := limit.Load()
+				for j := uint64(0); j < uint64(op.ScanLen); j++ {
+					ops = append(ops, store.Op[[]byte]{Kind: store.OpGet, Key: key(len(ops), (op.Key+j)%n)})
+				}
+			case Add:
+				ops = append(ops, store.Op[[]byte]{Kind: store.OpAdd, Key: key(len(ops), op.Key), Val: op.Delta})
+			}
+			kindCounts[op.Kind][t]++
+		}
+		sess.Apply(ops, res[:len(ops)])
+		if batched {
+			sess.Commit()
+		}
+		now := time.Now()
+		h.Record(now.Sub(prev))
+		prev = now
+	}
 }

@@ -28,6 +28,10 @@ const (
 	Insert
 	ReadModifyWrite
 	Scan
+	// Add is an atomic increment/decrement (store Add): the generator
+	// emits self-cancelling ±1 deltas, the churny counter traffic mix G
+	// uses to demonstrate net-delta coalescing.
+	Add
 	numKinds
 )
 
@@ -43,6 +47,8 @@ func (k OpKind) String() string {
 		return "rmw"
 	case Scan:
 		return "scan"
+	case Add:
+		return "add"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -51,30 +57,33 @@ func (k OpKind) String() string {
 // Mix is an operation mix in percent, summing to 100.
 type Mix struct {
 	Name string
-	// Read..Scan are the percentages of each kind.
-	Read, Update, Insert, RMW, Scan int
+	// Read..Add are the percentages of each kind.
+	Read, Update, Insert, RMW, Scan, Add int
 }
 
 // Validate checks that the percentages are non-negative and sum to
 // exactly 100. Next classifies by cumulative thresholds over a draw in
 // [0,100), so an under-100 mix would silently send the remainder to
-// Scan and an over-100 mix would starve the trailing kinds — both are
-// configuration bugs, rejected at construction.
+// the last kind and an over-100 mix would starve the trailing kinds —
+// both are configuration bugs, rejected at construction.
 func (m Mix) Validate() error {
-	for _, p := range []int{m.Read, m.Update, m.Insert, m.RMW, m.Scan} {
+	for _, p := range []int{m.Read, m.Update, m.Insert, m.RMW, m.Scan, m.Add} {
 		if p < 0 {
 			return fmt.Errorf("workload: mix %q has a negative percentage", m.Name)
 		}
 	}
-	if sum := m.Read + m.Update + m.Insert + m.RMW + m.Scan; sum != 100 {
+	if sum := m.Read + m.Update + m.Insert + m.RMW + m.Scan + m.Add; sum != 100 {
 		return fmt.Errorf("workload: mix %q sums to %d%%, want 100%%", m.Name, sum)
 	}
 	return nil
 }
 
-// Mixes are the YCSB core workloads: A update-heavy, B read-heavy,
+// Mixes are the YCSB core workloads — A update-heavy, B read-heavy,
 // C read-only, D read-latest, E "scan"-heavy (see package comment),
-// F read-modify-write.
+// F read-modify-write — plus G, the churny counter mix: FAA-heavy,
+// self-cancelling ±1 deltas, usually run with a small HotKeys knob so
+// traffic piles onto one counter. G exists to measure net-delta
+// coalescing honestly: its logical op stream nets to ~nothing.
 var Mixes = []Mix{
 	{Name: "a", Read: 50, Update: 50},
 	{Name: "b", Read: 95, Update: 5},
@@ -82,9 +91,10 @@ var Mixes = []Mix{
 	{Name: "d", Read: 95, Insert: 5},
 	{Name: "e", Scan: 95, Insert: 5},
 	{Name: "f", Read: 50, RMW: 50},
+	{Name: "g", Read: 5, Add: 95},
 }
 
-// MixByName resolves a workload letter (a–f, case-insensitive via exact
+// MixByName resolves a workload letter (a–g, case-insensitive via exact
 // lowercase match).
 func MixByName(name string) (Mix, error) {
 	for _, m := range Mixes {
@@ -92,7 +102,7 @@ func MixByName(name string) (Mix, error) {
 			return m, nil
 		}
 	}
-	return Mix{}, fmt.Errorf("workload: unknown mix %q (known: a-f)", name)
+	return Mix{}, fmt.Errorf("workload: unknown mix %q (known: a-g)", name)
 }
 
 // Key distribution identifiers.
@@ -143,6 +153,9 @@ type Op struct {
 	Key uint64
 	// ScanLen is the point-read burst length (Scan only).
 	ScanLen int
+	// Delta is the two's-complement increment (Add only): ±1, drawn with
+	// equal probability so the stream self-cancels in expectation.
+	Delta uint64
 }
 
 // Generator emits one thread's operation stream. Not safe for concurrent
@@ -157,13 +170,17 @@ type Generator struct {
 	zipfMax uint64 // the zipf's imax: draws cover [0, zipfMax]
 	limit   *atomic.Uint64
 	scanMax int
+	hotKeys uint64
 }
 
 // NewGenerator builds a generator for mix over dist. records is the
 // initial keyspace size; limit (shared across threads, pre-set to
 // records) tracks growth from inserts. zipfS ≤ 1 selects DefaultZipfS.
-// The mix must sum to 100 (Mix.Validate).
-func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *atomic.Uint64, scanMax int, seed int64) (*Generator, error) {
+// hotKeys, when non-zero, confines every non-insert key draw to the
+// uniform window [0, hotKeys) regardless of dist — the single-hot-key
+// knob (hotKeys=1) that concentrates mix G's counter churn. The mix
+// must sum to 100 (Mix.Validate).
+func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *atomic.Uint64, scanMax int, hotKeys uint64, seed int64) (*Generator, error) {
 	if err := mix.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,7 +194,7 @@ func NewGenerator(mix Mix, dist string, zipfS float64, records uint64, limit *at
 		scanMax = 16
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := &Generator{mix: mix, dist: dist, rng: rng, zipfS: zipfS, limit: limit, scanMax: scanMax}
+	g := &Generator{mix: mix, dist: dist, rng: rng, zipfS: zipfS, limit: limit, scanMax: scanMax, hotKeys: hotKeys}
 	switch dist {
 	case DistUniform:
 	case DistZipfian, DistLatest:
@@ -202,16 +219,24 @@ func (g *Generator) Next() Op {
 		kind = Insert
 	case r < g.mix.Read+g.mix.Update+g.mix.Insert+g.mix.RMW:
 		kind = ReadModifyWrite
-	default:
+	case r < g.mix.Read+g.mix.Update+g.mix.Insert+g.mix.RMW+g.mix.Scan:
 		kind = Scan
+	default:
+		kind = Add
 	}
 	if kind == Insert {
 		// Claim a fresh key index past the current high-water mark.
 		return Op{Kind: Insert, Key: g.limit.Add(1) - 1}
 	}
 	op := Op{Kind: kind, Key: g.pick()}
-	if kind == Scan {
+	switch kind {
+	case Scan:
 		op.ScanLen = 1 + g.rng.Intn(g.scanMax)
+	case Add:
+		op.Delta = 1
+		if g.rng.Intn(2) == 0 {
+			op.Delta = ^uint64(0) // -1
+		}
 	}
 	return op
 }
@@ -219,6 +244,12 @@ func (g *Generator) Next() Op {
 // pick draws a key index from the configured distribution over the
 // current keyspace.
 func (g *Generator) pick() uint64 {
+	if g.hotKeys > 0 {
+		// Hot-key mode: every non-insert draw lands uniformly in the
+		// pinned window, overriding the distribution — the knob is about
+		// contention on a few counters, not popularity shape.
+		return uint64(g.rng.Int63()) % g.hotKeys
+	}
 	n := g.limit.Load()
 	// Widen the zipf when inserts outgrow the sampled range: rand.Zipf
 	// draws from the fixed window [0, imax] set at construction, so a

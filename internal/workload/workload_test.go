@@ -15,8 +15,8 @@ func TestMixByName(t *testing.T) {
 		if err != nil || got.Name != m.Name {
 			t.Fatalf("MixByName(%q) = %v, %v", m.Name, got, err)
 		}
-		if s := m.Read + m.Update + m.Insert + m.RMW + m.Scan; s != 100 {
-			t.Fatalf("mix %q sums to %d, want 100", m.Name, s)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mix %q does not validate: %v", m.Name, err)
 		}
 	}
 	if _, err := MixByName("z"); err == nil {
@@ -32,7 +32,7 @@ func newGen(t *testing.T, mixName, dist string, records uint64) (*Generator, *at
 	}
 	var limit atomic.Uint64
 	limit.Store(records)
-	g, err := NewGenerator(mix, dist, 0, records, &limit, 8, 42)
+	g, err := NewGenerator(mix, dist, 0, records, &limit, 8, 0, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,5 +259,110 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 	if res.P50 <= 0 || res.Max < res.P99 || res.P99 < res.P50 {
 		t.Fatalf("implausible open-loop percentiles p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+}
+
+// TestMixGIsChurnyAdds: mix G is Add-dominated, its deltas are strictly
+// ±1 and roughly self-cancelling, and Add draws respect the keyspace.
+func TestMixGIsChurnyAdds(t *testing.T) {
+	g, limit := newGen(t, "g", DistUniform, 100)
+	adds, reads, plus, minus := 0, 0, 0, 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case Add:
+			adds++
+			switch op.Delta {
+			case 1:
+				plus++
+			case ^uint64(0):
+				minus++
+			default:
+				t.Fatalf("Add delta %#x, want ±1", op.Delta)
+			}
+			if op.Key >= limit.Load() {
+				t.Fatalf("Add key %d beyond keyspace %d", op.Key, limit.Load())
+			}
+		case Read:
+			reads++
+		default:
+			t.Fatalf("mix g generated %v", op.Kind)
+		}
+	}
+	if adds < n*90/100 {
+		t.Fatalf("mix g: %d adds of %d, want ≥90%%", adds, n)
+	}
+	if plus < adds*2/5 || minus < adds*2/5 {
+		t.Fatalf("deltas not self-cancelling: +1 ×%d, -1 ×%d", plus, minus)
+	}
+	_ = reads
+}
+
+// TestHotKeysKnob: hotKeys confines every non-insert draw to [0,hotKeys)
+// — down to a single hot key — while hotKeys=0 keeps draws spread over
+// many distinct keys.
+func TestHotKeysKnob(t *testing.T) {
+	mix, _ := MixByName("g")
+	var limit atomic.Uint64
+	limit.Store(1000)
+	for _, hot := range []uint64{1, 4} {
+		g, err := NewGenerator(mix, DistZipfian, 0, 1000, &limit, 0, hot, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		for i := 0; i < 5000; i++ {
+			op := g.Next()
+			if op.Key >= hot {
+				t.Fatalf("hotKeys=%d: drew key %d", hot, op.Key)
+			}
+			seen[op.Key] = true
+		}
+		if uint64(len(seen)) != hot {
+			t.Fatalf("hotKeys=%d: drew %d distinct keys, want %d", hot, len(seen), hot)
+		}
+	}
+	g, err := NewGenerator(mix, DistUniform, 0, 1000, &limit, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[g.Next().Key] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("hotKeys=0 drew only %d distinct keys", len(seen))
+	}
+}
+
+// TestRunWindowedModes drives the windowed runner (Depth > 1) in every
+// session mode, including mix G under the Combined net-delta path.
+func TestRunWindowedModes(t *testing.T) {
+	for _, mode := range store.SessionModes {
+		for _, mixName := range []string{"a", "f", "g"} {
+			st := newTestStore(t)
+			Load(st, 300, 2)
+			res, err := Run(st, Spec{
+				Mix: mixName, Dist: DistUniform, Threads: 2,
+				Duration: 20 * time.Millisecond, Records: 300, Seed: 5,
+				Mode: mode, Depth: 8, HotKeys: 2,
+			})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", mode, mixName, err)
+			}
+			if res.Ops == 0 || res.OpsPerSec <= 0 {
+				t.Fatalf("%v/%s: no throughput: %+v", mode, mixName, res)
+			}
+			if mixName == "g" && res.Adds == 0 {
+				t.Fatalf("%v/g: no adds recorded", mode)
+			}
+		}
+	}
+	if _, err := Run(newTestStore(t), Spec{
+		Mix: "a", Dist: DistUniform, Threads: 1, Duration: time.Millisecond,
+		Records: 10, Depth: 4, Rate: 100,
+	}); err == nil {
+		t.Fatal("Run accepted open-loop arrivals with Depth > 1")
 	}
 }
