@@ -11,6 +11,15 @@
 // trace (crash boundary + truncated schedule + recovered-state diff) is
 // printed and, with -dltrace, written to a file for CI artifacts.
 //
+// With -chaos it runs the service-boundary battery (internal/crashtest
+// chaos harness): real client pipelines against the network server under
+// injected transport faults (resets, partial writes, delays, blackholes),
+// admission-control overload, and mid-run drain; the store then crashes
+// (DropUnfenced) and every acknowledged operation must survive recovery.
+// Each run also replays a deliberately broken drain that acks without
+// executing — the battery must flag it, or the run fails as toothless.
+// Failure traces go to -chaostrace.
+//
 // A non-zero exit means a violation was found.
 //
 // Usage:
@@ -19,6 +28,7 @@
 //	flitcrash -ds bst -mode manual -policy flit-adjacent -rounds 50 -v
 //	flitcrash -dlcheck -rounds 2 -dlbudget 64 -dltrace dlcheck-trace.txt
 //	flitcrash -dlcheck -ds store -dlbudget 0
+//	flitcrash -chaos -rounds 2 -chaostrace chaos-trace.txt
 package main
 
 import (
@@ -76,10 +86,19 @@ func main() {
 	dl := flag.Bool("dlcheck", false, "systematic mode: check every PWB/PFence boundary of recorded executions")
 	dlBudget := flag.Int("dlbudget", 512, "crash points checked per dlcheck run (0 = every boundary)")
 	dlTrace := flag.String("dltrace", "", "write violation repro traces to this file (dlcheck mode)")
+	chaos := flag.Bool("chaos", false, "chaos mode: fault-injected client/server scenarios, crash, recover, check acked ops")
+	chaosTrace := flag.String("chaostrace", "", "write chaos failure traces to this file (chaos mode)")
 	flag.Parse()
 
+	if *dl && *chaos {
+		fmt.Fprintln(os.Stderr, "flitcrash: -dlcheck and -chaos are mutually exclusive")
+		os.Exit(2)
+	}
 	if *dl {
 		os.Exit(runDLCheck(*rounds, *dsFilter, *modeFilter, *polFilter, *seed0, *dlBudget, *dlTrace, *verbose))
+	}
+	if *chaos {
+		os.Exit(runChaos(*rounds, *seed0, *polFilter, *chaosTrace, *verbose))
 	}
 
 	const words = 1 << 20

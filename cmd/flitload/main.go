@@ -5,6 +5,12 @@
 // server-side instruction deltas — pwbs and fences per acknowledged
 // operation, the quantities group commit amortizes.
 //
+// Against an admission-controlled server the generator keeps running:
+// BUSY responses are counted as shed (separately from goodput) and
+// reported with the server's own shed counter; with -rate and
+// -max-inflight, open-loop arrivals over the inflight cap are dropped
+// client-side and counted too.
+//
 // Usage:
 //
 //	flitload -addr 127.0.0.1:7117 -load -mix a -dist zipfian -depth 16 -duration 5s
@@ -46,6 +52,7 @@ func main() {
 	conns := flag.Int("conns", 1, "parallel connections")
 	depth := flag.Int("depth", 16, "closed-loop pipeline frames per connection")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in ops/s across all connections (0 = closed loop)")
+	maxInflight := flag.Int("max-inflight", 0, "open-loop cap on outstanding frames per connection; arrivals over it are dropped and counted (0 = unbounded)")
 	duration := flag.Duration("duration", 3*time.Second, "measured window")
 	seed := flag.Int64("seed", 1, "workload seed")
 	load := flag.Bool("load", false, "bulk-insert the keyspace over the wire before the run")
@@ -90,7 +97,7 @@ func main() {
 
 	sp := client.Spec{
 		Mix: *mix, Dist: *dist, ZipfS: *zipfS, Records: *records,
-		Conns: *conns, Depth: *depth, Rate: *rate,
+		Conns: *conns, Depth: *depth, Rate: *rate, MaxInflight: *maxInflight,
 		Duration: *duration, Seed: *seed,
 	}
 	if !*jsonOut {
@@ -114,8 +121,12 @@ func main() {
 	if res.Rate > 0 {
 		loop = fmt.Sprintf("open rate=%.0f/s", res.Rate)
 	}
-	fmt.Printf("flitload: mix=%s dist=%s conns=%d %s: %d ops in %v (%.0f ops/s)\n",
+	fmt.Printf("flitload: mix=%s dist=%s conns=%d %s: %d ops in %v (%.0f ops/s goodput)\n",
 		res.Mix, res.Dist, res.Conns, loop, res.Ops, res.Elapsed.Round(time.Millisecond), res.OpsPerSec)
+	if res.Shed > 0 || res.Dropped > 0 {
+		fmt.Printf("  backpressure: %d shed by server (%.1f%% shed rate, server counted %d), %d dropped at the inflight cap\n",
+			res.Shed, 100*res.ShedRate, res.ServerShed, res.Dropped)
+	}
 	fmt.Printf("  latency p50=%v p95=%v p99=%v max=%v\n", res.P50, res.P95, res.P99, res.Max)
 	fmt.Printf("  server: %d ops in %d batches (%.1f ops/batch), %.3f pwbs/op, %.3f pfences/op\n",
 		res.ServerOps, res.ServerBatches, res.OpsPerBatch, res.PWBsPerOp, res.PFencesPerOp)

@@ -20,12 +20,21 @@
 // page over HTTP, -dash prints a once-per-second status line while
 // serving, and -stats-json writes the final counters (plus recovery
 // stats, if any) to a file on shutdown.
+//
+// Resilience: -max-conns, -max-inflight, -rate-limit and -burst bound
+// admission (excess work is shed with BUSY + retry-after, never half
+// executed); -idle-timeout and -write-timeout bound connection
+// lifetimes. SIGINT/SIGTERM drains gracefully — in-flight batches
+// commit and ack, buffered pipelines are answered DRAINING — bounded
+// by -drain-timeout; a second signal cuts the remaining connections.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -50,6 +59,13 @@ func main() {
 	expected := flag.Int("expected-keys", 1<<16, "expected keyspace size (memory sizing)")
 	records := flag.Uint64("records", 0, "prefill this many records in-process before serving")
 	batch := flag.Int("batch", 64, "max operations per group commit")
+	maxConns := flag.Int("max-conns", 0, "cap concurrently served connections; excess get one BUSY frame (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "cap store ops executing across all connections; excess batches are shed BUSY (0 = unlimited)")
+	rateLimit := flag.Float64("rate-limit", 0, "admission cap in store ops/s; excess batches are shed BUSY with a retry-after hint (0 = unlimited)")
+	rateBurst := flag.Int("burst", 0, "admission token-bucket burst (0 = 4*batch)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle at a pipeline head for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "slow-reader budget: responses must be accepted within this (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGINT/SIGTERM before remaining connections are cut")
 	threads := flag.Int("load-threads", 4, "prefill parallelism")
 	vclock := flag.Bool("vclock", false, "virtual-clock cost mode (no spin latency)")
 	metricsOn := flag.Bool("metrics", true, "enable the lock-free metrics core (op histograms, STATS v2, /metrics histogram families)")
@@ -103,7 +119,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flitstored: %v\n", err)
 		os.Exit(2)
 	}
-	srv := server.New(st, server.Options{MaxBatch: *batch, Metrics: *metricsOn})
+	srv := server.New(st, server.Options{
+		MaxBatch: *batch, Metrics: *metricsOn,
+		MaxConns: *maxConns, MaxInflight: *maxInflight,
+		RateLimit: *rateLimit, RateBurst: *rateBurst,
+		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+		Logger: log.New(os.Stderr, "flitstored: ", 0),
+	})
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -148,11 +170,27 @@ func main() {
 		stopDash = func() { close(dashDone); stop() }
 	}
 
-	sigc := make(chan os.Signal, 1)
+	// First signal: graceful drain — stop accepting, answer buffered
+	// pipelines DRAINING, let in-flight batches commit and ack, then
+	// close (bounded by -drain-timeout). Second signal: cut hard.
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sigc
-		srv.Close()
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "flitstored: %v: draining (budget %v; signal again to force close)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		done := make(chan error, 1)
+		go func() { done <- srv.Shutdown(ctx) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flitstored: drain cut short: %v\n", err)
+			}
+		case <-sigc:
+			fmt.Fprintln(os.Stderr, "flitstored: second signal: closing now")
+			srv.Close()
+		}
 	}()
 
 	fmt.Printf("flitstored: serving %s/%s on %s://%s (batch %d)\n",
@@ -166,6 +204,10 @@ func main() {
 	fmt.Printf("flitstored: served %d ops in %d batches over %d conns (%.1f ops/batch)\n",
 		stats.OpsServed, stats.Batches, stats.Conns,
 		float64(stats.OpsServed)/max(1, float64(stats.Batches)))
+	if shed := stats.ShedBusy + stats.ShedDraining + stats.ConnsRejected; shed > 0 || len(stats.ConnErrors) > 0 {
+		fmt.Printf("flitstored: shed %d busy + %d draining ops, rejected %d conns, conn errors %v\n",
+			stats.ShedBusy, stats.ShedDraining, stats.ConnsRejected, stats.ConnErrors)
+	}
 	if *statsJSON != "" {
 		out := struct {
 			Stats    server.Stats         `json:"stats"`

@@ -75,6 +75,35 @@ func (c NetCell) ID() string {
 		fmt.Sprintf("c%d", c.Conns), fmt.Sprintf("d%d", c.Depth))
 }
 
+// OverloadCell is one point of the admission-control grid: a closed-loop
+// YCSB mix offered through pipelined connections at a server whose
+// admission rate is capped at RateLimit ops/s (token bucket, burst
+// Burst). The loop pushes as hard as it can; the server sheds the
+// excess with BUSY instead of queuing it, so the cell's headline
+// numbers are goodput (acknowledged ops/s, which must track the cap),
+// shed_rate (the fraction of offered ops rejected), and the goodput
+// p99 (which must stay bounded precisely because excess work is shed,
+// not queued). RateLimit 0 is the uncapped control cell.
+type OverloadCell struct {
+	Mix       string
+	Dist      string
+	Policy    string
+	Shards    int
+	Records   uint64
+	Conns     int
+	Depth     int
+	RateLimit float64
+	Burst     int
+}
+
+// ID is the cell's stable identity (see SetCell.ID).
+func (c OverloadCell) ID() string {
+	return SlugID("overload", c.Mix, c.Dist, c.Policy,
+		fmt.Sprintf("s%d", c.Shards), fmt.Sprintf("r%d", c.Records),
+		fmt.Sprintf("c%d", c.Conns), fmt.Sprintf("d%d", c.Depth),
+		fmt.Sprintf("rl%d", int(c.RateLimit)))
+}
+
 // CombineCell is one point of the embedded flat-combining grid: a YCSB
 // mix driven in-process through Combined sessions — Matrix.Threads
 // workers each announcing Depth-op vector windows to the store's
@@ -143,6 +172,7 @@ type Matrix struct {
 	Store        []StoreCell
 	Net          []NetCell
 	Combine      []CombineCell
+	Overload     []OverloadCell
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -181,7 +211,7 @@ func (m Matrix) Config() map[string]string {
 // through the stats kernel — and returns the validated report.
 func (m Matrix) Run() (*Report, error) {
 	m = m.withDefaults()
-	if len(m.Set) == 0 && len(m.Store) == 0 && len(m.Net) == 0 && len(m.Combine) == 0 {
+	if len(m.Set) == 0 && len(m.Store) == 0 && len(m.Net) == 0 && len(m.Combine) == 0 && len(m.Overload) == 0 {
 		return nil, fmt.Errorf("bench: matrix %q has no cells", m.Name)
 	}
 	rep := NewReport("bench-matrix", m.Config())
@@ -200,6 +230,11 @@ func (m Matrix) Run() (*Report, error) {
 	}
 	for _, c := range m.Combine {
 		if err := m.runCombine(rep, c); err != nil {
+			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
+		}
+	}
+	for _, c := range m.Overload {
+		if err := m.runOverload(rep, c); err != nil {
 			return nil, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
 		}
 	}
@@ -469,6 +504,81 @@ func (m Matrix) runCombine(rep *Report, c CombineCell) error {
 	return nil
 }
 
+// runOverload measures one admission-control cell: build and load the
+// store, boot the server with the cell's rate cap over in-process pipe
+// transports, then drive the closed loop flat out — the server sheds
+// the excess with BUSY. The pipe transport delivers every shed response,
+// so the client's shed count must equal the server's shed delta exactly;
+// a mismatch fails the cell (lost-shed accounting would make the
+// shed_rate trajectory lie).
+func (m Matrix) runOverload(rep *Report, c OverloadCell) error {
+	st, err := store.New(store.Options{
+		Shards:       c.Shards,
+		ExpectedKeys: int(c.Records) * 3,
+		Policy:       c.Policy,
+		Mode:         dstruct.Automatic,
+		VirtualClock: m.VirtualClock,
+	})
+	if err != nil {
+		return err
+	}
+	workload.Load(st, c.Records, m.Threads)
+	srv := server.New(st, server.Options{
+		Metrics: true, RateLimit: c.RateLimit, RateBurst: c.Burst,
+	})
+	defer srv.Close()
+	dial := func() (net.Conn, error) {
+		cc, sc := net.Pipe()
+		go srv.ServeConn(sc)
+		return cc, nil
+	}
+	spec := client.Spec{
+		Mix: c.Mix, Dist: c.Dist, Records: c.Records,
+		Conns: c.Conns, Depth: c.Depth, Seed: m.Seed,
+		Duration: m.Duration,
+	}
+	if m.Warmup > 0 {
+		warm := spec
+		warm.Duration = m.Warmup
+		if _, err := client.Run(dial, warm); err != nil {
+			return err
+		}
+	}
+	var goodput, shedRate, p99 []float64
+	var ops, shed uint64
+	var p50Sum, p99Sum int64
+	for i := 0; i < m.Repeats; i++ {
+		r, err := client.Run(dial, spec)
+		if err != nil {
+			return err
+		}
+		if r.Shed != r.ServerShed {
+			return fmt.Errorf("bench: client counted %d shed ops, server %d", r.Shed, r.ServerShed)
+		}
+		goodput = append(goodput, r.OpsPerSec)
+		shedRate = append(shedRate, r.ShedRate)
+		p99 = append(p99, float64(r.P99.Nanoseconds()))
+		ops += r.Ops
+		shed += r.Shed
+		p50Sum += r.P50.Nanoseconds()
+		p99Sum += r.P99.Nanoseconds()
+	}
+	n := int64(m.Repeats)
+	id := c.ID()
+	rep.Add(Cell{
+		ID: id + "/goodput", Unit: "ops/s", Value: stats.Summarize(goodput),
+		Ops: ops, P50Ns: p50Sum / n, P99Ns: p99Sum / n,
+	})
+	rep.Add(Cell{
+		ID: id + "/shed_rate", Unit: "shed/offered", Value: stats.Summarize(shedRate),
+	})
+	rep.Add(Cell{
+		ID: id + "/p99", Unit: "ns", Value: stats.Summarize(p99),
+		LowerIsBetter: true,
+	})
+	return nil
+}
+
 // CrossSet expands the cross product of structures × policies × modes ×
 // update ratios into set cells, skipping the one inapplicable
 // combination (link-and-persist on the NM-BST, as in Figure 7).
@@ -582,6 +692,29 @@ func Presets() map[string]Matrix {
 				{Mix: "g", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192, Depth: 32, Window: 128, HotKeys: 1, NoCoalesce: true},
 			},
 		},
+		// overload is the admission-control trajectory: the same mix
+		// offered flat out against a rate-capped server and against the
+		// uncapped control. The capped cells' goodput must track the cap
+		// (the rate limiter meters wall-clock ops/s, so these cells are
+		// stable across machine speeds) with a nonzero shed_rate and a
+		// bounded goodput p99; the control cell pins what the same loop
+		// does with shedding off. BENCH_overload.json is this matrix's
+		// committed trajectory point.
+		"overload": {
+			Name:     "overload",
+			Duration: 200 * time.Millisecond,
+			Warmup:   100 * time.Millisecond,
+			Repeats:  3,
+			Seed:     1,
+			Overload: []OverloadCell{
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192,
+					Conns: 2, Depth: 8, RateLimit: 3000, Burst: 32},
+				{Mix: "c", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192,
+					Conns: 2, Depth: 8, RateLimit: 3000, Burst: 32},
+				{Mix: "a", Dist: workload.DistZipfian, Policy: core.PolicyHT, Shards: 4, Records: 8192,
+					Conns: 2, Depth: 8},
+			},
+		},
 		"full": {
 			Name:     "full",
 			Duration: 200 * time.Millisecond,
@@ -617,4 +750,6 @@ func Preset(name string) (Matrix, bool) {
 }
 
 // PresetNames lists the preset matrices in a stable order.
-func PresetNames() []string { return []string{"smoke", "groupcommit", "combining", "full"} }
+func PresetNames() []string {
+	return []string{"smoke", "groupcommit", "combining", "overload", "full"}
+}

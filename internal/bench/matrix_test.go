@@ -61,6 +61,50 @@ func TestMatrixRunTiny(t *testing.T) {
 	}
 }
 
+// TestMatrixRunOverloadTiny drives one rate-capped overload cell and
+// checks its three cell kinds: goodput held near the cap, a nonzero
+// shed rate, and a p99. The runner itself enforces client-shed ==
+// server-shed per repeat.
+func TestMatrixRunOverloadTiny(t *testing.T) {
+	m := Matrix{
+		Name:     "tiny-overload",
+		Threads:  2,
+		Duration: 60 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Repeats:  2,
+		Seed:     1,
+		Overload: []OverloadCell{
+			{Mix: "a", Dist: workload.DistUniform, Policy: core.PolicyHT, Shards: 2, Records: 1024,
+				Conns: 2, Depth: 8, RateLimit: 1000, Burst: 16},
+		},
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	id := "overload/a/uniform/flit-ht/s2/r1024/c2/d8/rl1000"
+	good := rep.Find(id + "/goodput")
+	if good == nil || good.Value.Mean <= 0 {
+		t.Fatalf("goodput cell missing; have %v", cellIDs(rep))
+	}
+	// The closed loop offers far more than 1000 ops/s; the limiter must
+	// hold goodput to the same order as the cap (generous band — short
+	// windows and burst credit wobble the edges).
+	if good.Value.Mean > 4000 {
+		t.Fatalf("goodput %.0f ops/s ignores the 1000 ops/s cap", good.Value.Mean)
+	}
+	shed := rep.Find(id + "/shed_rate")
+	if shed == nil || shed.Value.Mean <= 0 || shed.Value.Mean >= 1 {
+		t.Fatalf("shed_rate cell missing or degenerate: %+v", shed)
+	}
+	if p99 := rep.Find(id + "/p99"); p99 == nil || !p99.LowerIsBetter || p99.Value.Mean <= 0 {
+		t.Fatalf("p99 cell missing: %+v", p99)
+	}
+}
+
 func TestMatrixEmpty(t *testing.T) {
 	if _, err := (Matrix{Name: "void"}).Run(); err == nil {
 		t.Fatal("empty matrix must error")
@@ -73,7 +117,7 @@ func TestPresets(t *testing.T) {
 		if !ok {
 			t.Fatalf("preset %q missing", name)
 		}
-		if len(m.Set)+len(m.Store) == 0 {
+		if len(m.Set)+len(m.Store)+len(m.Net)+len(m.Combine)+len(m.Overload) == 0 {
 			t.Fatalf("preset %q has no cells", name)
 		}
 		seen := map[string]bool{}
@@ -93,6 +137,15 @@ func TestPresets(t *testing.T) {
 			if _, err := workload.MixByName(c.Mix); err != nil {
 				t.Fatalf("preset %q names unknown mix: %v", name, err)
 			}
+		}
+		for _, c := range m.Overload {
+			if _, err := workload.MixByName(c.Mix); err != nil {
+				t.Fatalf("preset %q names unknown mix: %v", name, err)
+			}
+			if seen[c.ID()] {
+				t.Fatalf("preset %q duplicate cell %s", name, c.ID())
+			}
+			seen[c.ID()] = true
 		}
 	}
 	if _, ok := Preset("no-such-matrix"); ok {

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"time"
 
 	"flit/internal/server"
 )
@@ -21,6 +22,10 @@ type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+
+	// opTimeout bounds each Flush (write side) and each Recv (read
+	// side) when non-zero; see SetOpTimeout.
+	opTimeout time.Duration
 
 	// inflight queues the opcodes of sent-but-unanswered requests;
 	// responses decode against them in FIFO order.
@@ -51,6 +56,12 @@ func Dial(network, addr string) (*Conn, error) {
 // Close closes the transport.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// SetOpTimeout bounds every subsequent Flush and Recv/RecvFor with a
+// per-call deadline: a server that neither accepts writes nor produces
+// a response within d fails the call with a timeout instead of hanging
+// the caller forever. Zero disables (the default).
+func (c *Conn) SetOpTimeout(d time.Duration) { c.opTimeout = d }
+
 // Pending reports the sent-but-unanswered request count.
 func (c *Conn) Pending() int { return len(c.inflight) - c.head }
 
@@ -64,17 +75,32 @@ func (c *Conn) Send(req *server.Request) {
 }
 
 // Flush pushes every buffered request to the transport.
-func (c *Conn) Flush() error { return c.bw.Flush() }
+func (c *Conn) Flush() error {
+	if c.opTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.opTimeout))
+	}
+	return c.bw.Flush()
+}
 
 // Recv decodes the next pipelined response, in send order. The returned
 // Response aliases internal buffers until the next Recv.
+//
+// A transport or decode failure comes back as a *PipelineError carrying
+// the outstanding-response count — never a short-read panic or a hang
+// (with an op timeout set): the pipeline's remaining responses are gone
+// and the connection is unusable. BUSY and DRAINING responses are NOT
+// errors at this layer; pipelining callers inspect resp.Status (the
+// convenience methods map them to typed errors).
 func (c *Conn) Recv() (*server.Response, error) {
 	if c.head == len(c.inflight) {
 		return nil, fmt.Errorf("client: Recv with no request in flight")
 	}
 	op := c.inflight[c.head]
+	if c.opTimeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.opTimeout))
+	}
 	if err := server.ReadResponse(c.br, op, &c.resp); err != nil {
-		return nil, err
+		return nil, &PipelineError{Pending: c.Pending(), Err: err}
 	}
 	c.head++
 	if c.head == len(c.inflight) {
@@ -99,10 +125,14 @@ func (c *Conn) SendUntracked(req *server.Request) {
 
 // RecvFor decodes the next response frame for a request sent with
 // opcode op (untracked pipelining). The returned Response aliases
-// internal buffers until the next RecvFor/Recv.
+// internal buffers until the next RecvFor/Recv. Transport failures are
+// wrapped like Recv's, with Pending = -1 (the caller owns the FIFO).
 func (c *Conn) RecvFor(op byte) (*server.Response, error) {
+	if c.opTimeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.opTimeout))
+	}
 	if err := server.ReadResponse(c.br, op, &c.resp); err != nil {
-		return nil, err
+		return nil, &PipelineError{Pending: -1, Err: err}
 	}
 	if c.resp.Status == server.StatusErr {
 		return nil, fmt.Errorf("client: server error: %s", c.resp.Body)
@@ -111,13 +141,22 @@ func (c *Conn) RecvFor(op byte) (*server.Response, error) {
 }
 
 // roundTrip sends one request and waits for its response (pipeline
-// depth 1 — the synchronous convenience API).
+// depth 1 — the synchronous convenience API). Admission rejections come
+// back typed: *BusyError with the server's hint, ErrDraining on
+// shutdown.
 func (c *Conn) roundTrip(req *server.Request) (*server.Response, error) {
 	c.Send(req)
 	if err := c.Flush(); err != nil {
 		return nil, err
 	}
-	return c.Recv()
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if serr := statusErr(resp.Status, resp.RetryAfterMs); serr != nil {
+		return nil, serr
+	}
+	return resp, nil
 }
 
 // Get fetches key's value.

@@ -1,0 +1,57 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flit/internal/server"
+)
+
+// ErrDraining reports that the server rejected the operation because it
+// is shutting down. The operation was not executed; retry against
+// another server (or the same one after it restarts).
+var ErrDraining = errors.New("client: server draining")
+
+// BusyError reports that the server shed the operation under admission
+// control. The operation was not executed; RetryAfter carries the
+// server's backoff hint.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("client: server busy, retry after %v", e.RetryAfter)
+}
+
+// PipelineError reports a connection failure with responses still
+// outstanding: the transport died (or returned garbage) before every
+// pipelined request was answered. Pending counts the requests whose
+// responses will never arrive (-1 when the caller tracks its own
+// pipeline); whether those operations executed server-side is unknown —
+// only idempotent operations should be replayed.
+type PipelineError struct {
+	Pending int
+	Err     error
+}
+
+func (e *PipelineError) Error() string {
+	if e.Pending < 0 {
+		return fmt.Sprintf("client: pipeline broken: %v", e.Err)
+	}
+	return fmt.Sprintf("client: pipeline broken with %d responses outstanding: %v", e.Pending, e.Err)
+}
+
+func (e *PipelineError) Unwrap() error { return e.Err }
+
+// statusErr maps a rejection status to its typed error, nil for
+// anything a convenience caller should treat as success.
+func statusErr(status byte, retryAfterMs uint32) error {
+	switch status {
+	case server.StatusBusy:
+		return &BusyError{RetryAfter: time.Duration(retryAfterMs) * time.Millisecond}
+	case server.StatusDraining:
+		return ErrDraining
+	}
+	return nil
+}

@@ -39,6 +39,15 @@ type Spec struct {
 	Duration time.Duration // measured window
 	Seed     int64
 
+	// MaxInflight caps outstanding request frames per open-loop
+	// connection (default 1024). When the schedule outruns the server,
+	// arrivals over the cap are DROPPED and counted (Result.Dropped)
+	// instead of queueing unboundedly — the open loop honors
+	// backpressure the way a real ingress would, rather than modeling an
+	// infinite client-side buffer. Closed loop is inherently bounded by
+	// Depth and ignores this.
+	MaxInflight int
+
 	// Progress, when set, is called about once per ProgressEvery
 	// (default 1s) from a monitor goroutine with a live snapshot of the
 	// run. The workers record into one shared lock-free histogram
@@ -83,6 +92,19 @@ type Result struct {
 	Inserts uint64 `json:"inserts"`
 	RMWs    uint64 `json:"rmws"`
 	Scans   uint64 `json:"scans"`
+
+	// Backpressure accounting. Ops/OpsPerSec count only completed
+	// operations, so OpsPerSec is the goodput; Shed counts operations
+	// the server rejected with BUSY/DRAINING (per-op, never recorded in
+	// the latency histogram), Dropped counts open-loop arrivals the
+	// client never sent because the inflight cap was hit, and ShedRate
+	// is Shed/(Ops+Shed). ServerShed is the server's own shed counter
+	// delta over the window — the two sides must agree within the final
+	// pipeline round.
+	Shed       uint64  `json:"shed,omitempty"`
+	Dropped    uint64  `json:"dropped,omitempty"`
+	ShedRate   float64 `json:"shed_rate,omitempty"`
+	ServerShed uint64  `json:"server_shed,omitempty"`
 
 	// Server-side deltas over the run window.
 	ServerOps     uint64  `json:"server_ops"`
@@ -270,7 +292,7 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 	// progress monitor (and nothing else) can read mid-run without
 	// synchronizing with the hot path.
 	shared := metrics.NewHist()
-	kinds := make([][5]uint64, sp.Conns)
+	counts := make([]workerCounts, sp.Conns)
 	errs := make([]error, sp.Conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -328,9 +350,9 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 			c := New(nc)
 			defer c.Close()
 			if sp.Rate > 0 {
-				errs[w] = runOpen(c, gens[w], &limit, shared, &kinds[w], deadline, sp.Rate, w, sp.Conns)
+				errs[w] = runOpen(c, gens[w], &limit, shared, &counts[w], deadline, sp.Rate, sp.MaxInflight, w, sp.Conns)
 			} else {
-				errs[w] = runClosed(c, gens[w], &limit, shared, &kinds[w], deadline, sp.Depth)
+				errs[w] = runClosed(c, gens[w], &limit, shared, &counts[w], deadline, sp.Depth)
 			}
 		}(w)
 	}
@@ -350,27 +372,36 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 
 	var all metrics.HistSnapshot
 	shared.Read(&all)
-	var kindSum [5]uint64
-	for w := range kinds {
-		for k, n := range kinds[w] {
-			kindSum[k] += n
+	var sum workerCounts
+	for w := range counts {
+		for k, n := range counts[w].kinds {
+			sum.kinds[k] += n
 		}
+		sum.shed += counts[w].shed
+		sum.dropped += counts[w].dropped
 	}
 	res := Result{
 		Mix: sp.Mix, Dist: sp.Dist, Conns: sp.Conns, Depth: sp.Depth, Rate: sp.Rate,
 		Elapsed: elapsed, Ops: all.Count,
 		P50: time.Duration(all.Quantile(0.50)), P95: time.Duration(all.Quantile(0.95)),
 		P99: time.Duration(all.Quantile(0.99)), Max: time.Duration(all.MaxNs),
-		Reads:   kindSum[workload.Read],
-		Updates: kindSum[workload.Update],
-		Inserts: kindSum[workload.Insert],
-		RMWs:    kindSum[workload.ReadModifyWrite],
-		Scans:   kindSum[workload.Scan],
+		Reads:   sum.kinds[workload.Read],
+		Updates: sum.kinds[workload.Update],
+		Inserts: sum.kinds[workload.Insert],
+		RMWs:    sum.kinds[workload.ReadModifyWrite],
+		Scans:   sum.kinds[workload.Scan],
+
+		Shed:    sum.shed,
+		Dropped: sum.dropped,
 
 		ServerOps:     after.OpsServed - before.OpsServed,
 		ServerBatches: after.Batches - before.Batches,
 		PWBs:          after.PWBs - before.PWBs,
 		PFences:       after.PFences - before.PFences,
+		ServerShed:    (after.ShedBusy + after.ShedDraining) - (before.ShedBusy + before.ShedDraining),
+	}
+	if total := res.Ops + res.Shed; total > 0 {
+		res.ShedRate = float64(res.Shed) / float64(total)
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
@@ -392,10 +423,21 @@ func Run(dial func() (net.Conn, error), sp Spec) (Result, error) {
 	return res, nil
 }
 
+// workerCounts is one worker's non-latency tallies: completed ops by
+// kind, ops the server shed (BUSY/DRAINING), and open-loop arrivals
+// dropped at the inflight cap.
+type workerCounts struct {
+	kinds   [5]uint64
+	shed    uint64
+	dropped uint64
+}
+
 // runClosed is the closed-loop worker: fill a Depth-frame window, flush
-// once, read it back, recording one latency per logical operation.
+// once, read it back, recording one latency per logical operation. An
+// operation with any frame answered BUSY counts as shed, not completed;
+// a DRAINING answer ends the worker (the server is going away).
 func runClosed(c *Conn, g *workload.Generator, limit *atomic.Uint64,
-	h *metrics.Hist, kinds *[5]uint64, deadline time.Time, depth int) error {
+	h *metrics.Hist, wc *workerCounts, deadline time.Time, depth int) error {
 	keyBuf := make([]byte, 0, 32)
 	winOps := make([]workload.Op, 0, depth)
 	for time.Now().Before(deadline) {
@@ -411,14 +453,30 @@ func runClosed(c *Conn, g *workload.Generator, limit *atomic.Uint64,
 		if err := c.Flush(); err != nil {
 			return err
 		}
+		draining := false
 		for _, op := range winOps {
+			shed := false
 			for f := frames(op); f > 0; f-- {
-				if _, err := c.Recv(); err != nil {
+				resp, err := c.Recv()
+				if err != nil {
 					return err
 				}
+				switch resp.Status {
+				case server.StatusBusy:
+					shed = true
+				case server.StatusDraining:
+					shed, draining = true, true
+				}
+			}
+			if shed {
+				wc.shed++
+				continue
 			}
 			h.Record(time.Since(t0))
-			kinds[op.Kind]++
+			wc.kinds[op.Kind]++
+		}
+		if draining {
+			return nil
 		}
 	}
 	return nil
@@ -435,13 +493,21 @@ type openMeta struct {
 // runOpen is the open-loop worker pair: the sender fires operations at
 // their scheduled arrival times; the receiver records latency from the
 // schedule, not from the send — queueing is part of the measurement.
+// The sender honors backpressure: when maxInflight frames are already
+// outstanding, the scheduled arrival is dropped and counted instead of
+// queueing without bound. Ops the server sheds with BUSY/DRAINING count
+// as shed, not completed.
 func runOpen(c *Conn, g *workload.Generator, limit *atomic.Uint64,
-	h *metrics.Hist, kinds *[5]uint64, deadline time.Time, rate float64, w, conns int) error {
+	h *metrics.Hist, wc *workerCounts, deadline time.Time, rate float64, maxInflight, w, conns int) error {
 	if rate <= 0 {
 		return fmt.Errorf("client: open loop needs a positive rate")
 	}
+	if maxInflight <= 0 {
+		maxInflight = 1024
+	}
 	step, offset := workload.OpenLoopSchedule(rate, w, conns)
 	ch := make(chan openMeta, 1<<14)
+	var inflight atomic.Int64 // outstanding frames, sender adds / receiver subtracts
 	var sendErr error
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -455,11 +521,18 @@ func runOpen(c *Conn, g *workload.Generator, limit *atomic.Uint64,
 				time.Sleep(d)
 			}
 			op := g.Next()
+			nf := frames(op)
+			if inflight.Load()+int64(nf) > int64(maxInflight) {
+				wc.dropped++ // sender-owned field; the receiver never touches it
+				next = next.Add(step)
+				continue
+			}
+			inflight.Add(int64(nf))
 			sendOp(c.SendUntracked, op, &keyBuf, limit)
 			if sendErr = c.Flush(); sendErr != nil {
 				return
 			}
-			ch <- openMeta{sched: next, frames: frames(op), kind: op.Kind}
+			ch <- openMeta{sched: next, frames: nf, kind: op.Kind}
 			next = next.Add(step)
 		}
 	}()
@@ -468,15 +541,25 @@ func runOpen(c *Conn, g *workload.Generator, limit *atomic.Uint64,
 		if recvErr != nil {
 			continue // drain the channel so the sender never blocks
 		}
+		shed := false
 		for f := 0; f < m.frames; f++ {
-			if _, err := c.RecvFor(opcodeAt(m.kind, f)); err != nil {
+			resp, err := c.RecvFor(opcodeAt(m.kind, f))
+			if err != nil {
 				recvErr = err
 				break
 			}
+			if resp.Status == server.StatusBusy || resp.Status == server.StatusDraining {
+				shed = true
+			}
 		}
+		inflight.Add(-int64(m.frames))
 		if recvErr == nil {
-			h.Record(time.Since(m.sched))
-			kinds[m.kind]++
+			if shed {
+				wc.shed++
+			} else {
+				h.Record(time.Since(m.sched))
+				wc.kinds[m.kind]++
+			}
 		}
 	}
 	wg.Wait()

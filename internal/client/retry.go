@@ -1,0 +1,263 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flit/internal/resilience"
+	"flit/internal/server"
+)
+
+// RetryOptions tunes a RetryConn. Zero values pick defaults.
+type RetryOptions struct {
+	// MaxAttempts caps connection/execution attempts per call (default
+	// 4): redials after transport loss and waits after BUSY both consume
+	// an attempt.
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the jittered exponential redial and
+	// BUSY-wait schedule (defaults 1ms / 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OpTimeout is applied to the underlying Conn (SetOpTimeout) so a
+	// wedged server fails the attempt instead of hanging it. 0 = none.
+	OpTimeout time.Duration
+	// Seed makes the jitter reproducible in tests and chaos runs.
+	Seed int64
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 250 * time.Millisecond
+	}
+	return o
+}
+
+// RetryConn is a reconnecting wrapper around Conn: transport failures
+// redial with capped exponential backoff + jitter and replay ONLY the
+// un-acked operations; BUSY rejections wait out the server's hint (or
+// the backoff, whichever is longer) and retry. An operation whose
+// response arrived is never re-sent.
+//
+// Replay safety: a lost connection leaves un-acked operations in an
+// unknown state — the server may have executed them before the ack was
+// lost. Every protocol operation is effect-idempotent (PUT replays to
+// the same value, DELETE to the same absence), so replay converges to
+// the intended state; only the reported Flag can differ from what a
+// fault-free run would have returned (e.g. a replayed PUT reports
+// "overwrote" instead of "inserted"). Callers needing exact-once flags
+// must not use a RetryConn.
+//
+// Not safe for concurrent use, like Conn.
+type RetryConn struct {
+	dial func() (*Conn, error)
+	opts RetryOptions
+	conn *Conn
+	bo   *resilience.Backoff
+
+	// Redials counts reconnects; Busy counts BUSY rejections waited
+	// out; Replays counts operations re-sent after transport loss.
+	Redials uint64
+	Busy    uint64
+	Replays uint64
+}
+
+// NewRetry builds a RetryConn over a dial function (called lazily, and
+// again after every transport failure).
+func NewRetry(dial func() (*Conn, error), opts RetryOptions) *RetryConn {
+	o := opts.withDefaults()
+	return &RetryConn{
+		dial: dial,
+		opts: o,
+		bo:   resilience.NewBackoff(o.BaseBackoff, o.MaxBackoff, o.Seed),
+	}
+}
+
+// Close closes the current underlying connection, if any.
+func (r *RetryConn) Close() error {
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ensure returns a live connection, dialing if needed.
+func (r *RetryConn) ensure() (*Conn, error) {
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.OpTimeout > 0 {
+		c.SetOpTimeout(r.opts.OpTimeout)
+	}
+	r.conn = c
+	return c, nil
+}
+
+// dropConn discards a connection the transport declared dead.
+func (r *RetryConn) dropConn() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+		r.Redials++
+	}
+}
+
+// sleepAtLeast waits the backoff schedule's next delay, floored at min
+// (a server BUSY hint outranks a shorter jittered delay).
+func (r *RetryConn) sleepAtLeast(min time.Duration) {
+	d := r.bo.Next()
+	if d < min {
+		d = min
+	}
+	time.Sleep(d)
+}
+
+// DoBatch executes reqs as one pipeline, filling resps[i] for reqs[i].
+// Transport failures redial and replay only the operations whose
+// responses had not arrived; BUSY/DRAINING rejections are retried after
+// a wait. It returns nil only when every request was answered with a
+// definitive status; otherwise the first exhausted error (operations
+// answered so far keep their responses).
+func (r *RetryConn) DoBatch(reqs []server.Request, resps []server.Response) error {
+	if len(resps) < len(reqs) {
+		return fmt.Errorf("client: DoBatch needs len(resps) >= len(reqs)")
+	}
+	pending := make([]int, len(reqs))
+	for i := range pending {
+		pending[i] = i
+	}
+	var lastErr error
+	for attempt := 0; len(pending) > 0; attempt++ {
+		if attempt >= r.opts.MaxAttempts {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("client: retries exhausted")
+			}
+			return fmt.Errorf("client: %d ops unanswered after %d attempts: %w", len(pending), attempt, lastErr)
+		}
+		c, err := r.ensure()
+		if err != nil {
+			lastErr = err
+			r.sleepAtLeast(0)
+			continue
+		}
+		if attempt > 0 {
+			r.Replays += uint64(len(pending))
+		}
+		for _, i := range pending {
+			c.Send(&reqs[i])
+		}
+		if err := c.Flush(); err != nil {
+			lastErr = err
+			r.dropConn()
+			r.sleepAtLeast(0)
+			continue
+		}
+		// Receive in send order; on transport loss the unanswered tail
+		// stays pending for the next attempt.
+		next := pending[:0]
+		got := 0
+		var busyHint time.Duration
+		for _, i := range pending {
+			resp, rerr := c.Recv()
+			if rerr != nil {
+				// This response and everything after it is gone.
+				lastErr = rerr
+				next = append(next, pending[got:]...)
+				break
+			}
+			got++
+			switch resp.Status {
+			case server.StatusBusy, server.StatusDraining:
+				lastErr = statusErr(resp.Status, resp.RetryAfterMs)
+				if h := time.Duration(resp.RetryAfterMs) * time.Millisecond; h > busyHint {
+					busyHint = h
+				}
+				if resp.Status == server.StatusBusy {
+					r.Busy++
+				}
+				next = append(next, i)
+			default:
+				resps[i] = *resp
+				resps[i].Body = append([]byte(nil), resp.Body...)
+			}
+		}
+		if got < len(pending) {
+			r.dropConn()
+		}
+		pending = append(pending[:0:0], next...)
+		if len(pending) > 0 {
+			if errors.Is(lastErr, ErrDraining) {
+				// The server is going away; the current conn will be
+				// closed server-side. Redial after the wait.
+				r.dropConn()
+			}
+			r.sleepAtLeast(busyHint)
+			continue
+		}
+		r.bo.Reset()
+	}
+	return nil
+}
+
+// do round-trips one request through DoBatch.
+func (r *RetryConn) do(op byte, key []byte, val uint64) (server.Response, error) {
+	reqs := []server.Request{{Op: op, Key: key, Val: val}}
+	resps := make([]server.Response, 1)
+	err := r.DoBatch(reqs, resps)
+	return resps[0], err
+}
+
+// Get fetches key's value, retrying through failures.
+func (r *RetryConn) Get(key []byte) (uint64, bool, error) {
+	resp, err := r.do(server.OpGet, key, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Status == server.StatusOK, nil
+}
+
+// Put stores key→val. The inserted flag may misreport after a replay
+// (see the type comment).
+func (r *RetryConn) Put(key []byte, val uint64) (bool, error) {
+	resp, err := r.do(server.OpPut, key, val)
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Delete removes key. The existed flag may misreport after a replay.
+func (r *RetryConn) Delete(key []byte) (bool, error) {
+	resp, err := r.do(server.OpDelete, key, 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Contains reports whether key is present.
+func (r *RetryConn) Contains(key []byte) (bool, error) {
+	resp, err := r.do(server.OpContains, key, 0)
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// Ping round-trips an empty frame, redialing as needed.
+func (r *RetryConn) Ping() error {
+	_, err := r.do(server.OpPing, nil, 0)
+	return err
+}

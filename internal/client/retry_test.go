@@ -1,0 +1,154 @@
+package client_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"flit/internal/client"
+	"flit/internal/resilience"
+	"flit/internal/server"
+)
+
+// TestConnServerClosesMidPipeline pins the short-read path: the server
+// answers part of a pipeline and hangs up. The client must surface a
+// typed *PipelineError carrying the outstanding count — never a panic
+// or a hang.
+func TestConnServerClosesMidPipeline(t *testing.T) {
+	cc, sc := net.Pipe()
+	// A hand-rolled server that answers exactly 2 requests, then closes.
+	go func() {
+		br := bufio.NewReader(sc)
+		var req server.Request
+		for i := 0; i < 2; i++ {
+			if err := server.ReadRequest(br, &req); err != nil {
+				break
+			}
+			resp := server.Response{Status: server.StatusOK}
+			sc.Write(server.AppendResponse(nil, req.Op, &resp))
+		}
+		sc.Close()
+	}()
+
+	c := client.New(cc)
+	defer c.Close()
+	c.SetOpTimeout(2 * time.Second)
+	for i := 0; i < 5; i++ {
+		c.Send(&server.Request{Op: server.OpPut, Key: []byte{byte(i)}, Val: 1})
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Recv(); err != nil {
+			t.Fatalf("recv %d before the hangup: %v", i, err)
+		}
+	}
+	_, err := c.Recv()
+	var pe *client.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("recv after hangup = %v, want *PipelineError", err)
+	}
+	if pe.Pending != 3 {
+		t.Fatalf("PipelineError.Pending = %d, want 3", pe.Pending)
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("PipelineError should unwrap to an EOF, got %v", pe.Err)
+	}
+}
+
+// TestRetryConnReplaysAfterReset injects a reset on the first
+// connection's read path: the whole pipeline was delivered and executed,
+// but no response survives. The retry layer must redial and replay every
+// un-acked op to a definitive answer.
+func TestRetryConnReplaysAfterReset(t *testing.T) {
+	srv, dial := pipeDialer(t, server.Options{})
+	conns := 0
+	rc := client.NewRetry(func() (*client.Conn, error) {
+		nc, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		conns++
+		if conns == 1 {
+			// 5 put frames cross ~95 bytes; the reset trips after the
+			// requests are delivered and before any response is read.
+			nc = resilience.WrapConn(nc, resilience.Faults{Seed: 1, ResetAfterBytes: 64})
+		}
+		return client.New(nc), nil
+	}, client.RetryOptions{Seed: 1, OpTimeout: 2 * time.Second})
+	defer rc.Close()
+
+	reqs := make([]server.Request, 5)
+	resps := make([]server.Response, 5)
+	for i := range reqs {
+		reqs[i] = server.Request{Op: server.OpPut, Key: []byte{'k', byte('0' + i)}, Val: uint64(i)}
+	}
+	if err := rc.DoBatch(reqs, resps); err != nil {
+		t.Fatalf("DoBatch through a reset: %v", err)
+	}
+	for i := range resps {
+		if resps[i].Status != server.StatusOK {
+			t.Fatalf("resp %d status = %d, want StatusOK", i, resps[i].Status)
+		}
+	}
+	if rc.Redials != 1 {
+		t.Fatalf("Redials = %d, want 1", rc.Redials)
+	}
+	if rc.Replays != 5 {
+		t.Fatalf("Replays = %d, want 5 (no response arrived before the reset)", rc.Replays)
+	}
+	if got := len(srv.Store().Snapshot()); got != 5 {
+		t.Fatalf("store holds %d keys after replay, want 5", got)
+	}
+}
+
+// TestRetryConnWaitsOutBusy: an op shed by admission control is retried
+// after the server's hint and eventually lands.
+func TestRetryConnWaitsOutBusy(t *testing.T) {
+	_, dial := pipeDialer(t, server.Options{MaxBatch: 1, RateLimit: 50, RateBurst: 1})
+	rc := client.NewRetry(func() (*client.Conn, error) {
+		nc, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return client.New(nc), nil
+	}, client.RetryOptions{Seed: 1, OpTimeout: 2 * time.Second})
+	defer rc.Close()
+
+	if _, err := rc.Put([]byte("a"), 1); err != nil {
+		t.Fatalf("first put (within burst): %v", err)
+	}
+	if _, err := rc.Put([]byte("b"), 2); err != nil {
+		t.Fatalf("put through BUSY: %v", err)
+	}
+	if rc.Busy == 0 {
+		t.Fatal("second put was never shed — the rate limit did not engage")
+	}
+}
+
+// TestRetryConnExhaustsAgainstDeadServer: a server that is gone forever
+// must produce a bounded failure, not an infinite retry loop.
+func TestRetryConnExhaustsAgainstDeadServer(t *testing.T) {
+	srv, dial := pipeDialer(t, server.Options{})
+	srv.Close()
+	rc := client.NewRetry(func() (*client.Conn, error) {
+		nc, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return client.New(nc), nil
+	}, client.RetryOptions{MaxAttempts: 3, Seed: 1, OpTimeout: 200 * time.Millisecond})
+	defer rc.Close()
+
+	start := time.Now()
+	if _, err := rc.Put([]byte("x"), 1); err == nil {
+		t.Fatal("put against a closed server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("exhaustion took %v — retries are not bounded", elapsed)
+	}
+}

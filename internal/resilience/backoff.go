@@ -1,0 +1,58 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces capped exponential retry delays with full jitter:
+// attempt k sleeps for a uniformly random duration in (0, min(Base<<k, Max)].
+// Full jitter decorrelates retrying clients so a reconnect storm after a
+// server restart does not arrive in lockstep.
+//
+// Backoff is NOT safe for concurrent use; give each retrying connection its
+// own instance.
+type Backoff struct {
+	Base time.Duration // first-attempt ceiling; default 1ms
+	Max  time.Duration // overall ceiling; default 1s
+
+	attempt int
+	rng     *rand.Rand
+}
+
+// NewBackoff returns a Backoff seeded deterministically (for reproducible
+// chaos runs). Base/Max of zero pick the defaults.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to sleep before the next retry and advances the
+// attempt counter.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = time.Second
+	}
+	ceil := base
+	for i := 0; i < b.attempt && ceil < max; i++ {
+		ceil <<= 1
+	}
+	if ceil > max {
+		ceil = max
+	}
+	b.attempt++
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(1))
+	}
+	return time.Duration(b.rng.Int63n(int64(ceil))) + 1
+}
+
+// Attempts reports how many times Next has been called since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset rewinds the exponential schedule after a successful operation.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -136,6 +136,21 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	p.Sample("flit_shards", "", float64(st.Shards))
 	p.Meta("flit_max_batch", "gauge", "group commit size cap")
 	p.Sample("flit_max_batch", "", float64(st.MaxBatch))
+	p.Meta("flit_shed_total", "counter", "store operations shed by admission control, by reason")
+	p.Sample("flit_shed_total", `reason="busy"`, float64(st.ShedBusy))
+	p.Sample("flit_shed_total", `reason="draining"`, float64(st.ShedDraining))
+	p.Meta("flit_conns_rejected_total", "counter", "connections rejected at the max-connections cap")
+	p.Sample("flit_conns_rejected_total", "", float64(st.ConnsRejected))
+	p.Meta("flit_conn_errors_total", "counter", "failed connections by cause")
+	for _, cause := range connCauseNames {
+		p.Sample("flit_conn_errors_total", fmt.Sprintf("cause=%q", cause), float64(st.ConnErrors[cause]))
+	}
+	p.Meta("flit_draining", "gauge", "1 while a graceful shutdown is draining connections")
+	drainVal := 0.0
+	if st.Draining {
+		drainVal = 1
+	}
+	p.Sample("flit_draining", "", drainVal)
 
 	if m := s.metrics; m != nil {
 		p.Meta("flit_conns_open", "gauge", "currently open connections")

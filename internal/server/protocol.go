@@ -3,9 +3,15 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrMalformed tags protocol-violation decode errors (bad length
+// prefixes, unknown opcodes, wrong body sizes) so callers can separate
+// them from transport failures with errors.Is.
+var ErrMalformed = errors.New("malformed frame")
 
 // The wire protocol is a pipelined, length-prefixed binary framing over
 // any stream transport (TCP, unix sockets, net.Pipe). All integers are
@@ -36,6 +42,11 @@ import (
 //	  StatusErr:        error message (per-request from the executor, or a
 //	                    final best-effort frame for a malformed request —
 //	                    either way the server then closes the connection)
+//	  StatusBusy:       u32 retry-after-ms — the op was shed by admission
+//	                    control, not executed; retry after the hint
+//	  StatusDraining:   (empty) — the server is shutting down; the op was
+//	                    not executed and the connection closes after the
+//	                    batch is answered
 
 // Opcodes.
 const (
@@ -47,10 +58,16 @@ const (
 	OpStats
 )
 
-// Response statuses.
+// Response statuses. Busy and Draining are the admission-control
+// rejections (see resilience layer): the request was NOT executed and the
+// client may retry it — after the carried hint for Busy, against another
+// server (or later) for Draining. They can answer any store opcode; PING
+// and STATS are control traffic and are always served.
 const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
+	StatusBusy     byte = 2 // shed by admission control; body: u32 retry-after-ms
+	StatusDraining byte = 3 // server shutting down; empty body
 	StatusErr      byte = 255
 )
 
@@ -74,10 +91,11 @@ type Request struct {
 
 // Response is one decoded server response.
 type Response struct {
-	Status byte
-	Val    uint64 // GET value
-	Flag   bool   // PUT inserted / DELETE existed / CONTAINS present
-	Body   []byte // STATS JSON or error message
+	Status       byte
+	Val          uint64 // GET value
+	Flag         bool   // PUT inserted / DELETE existed / CONTAINS present
+	Body         []byte // STATS JSON or error message
+	RetryAfterMs uint32 // StatusBusy backoff hint
 
 	// buf is ReadResponse's reused frame buffer; Body aliases it until
 	// the next ReadResponse on the same Response.
@@ -116,8 +134,11 @@ func AppendRequest(dst []byte, req *Request) []byte {
 func AppendResponse(dst []byte, op byte, resp *Response) []byte {
 	n := 1
 	switch {
-	case resp.Status == StatusErr, op == OpStats:
+	case resp.Status == StatusErr, resp.Status == StatusOK && op == OpStats:
 		n += len(resp.Body)
+	case resp.Status == StatusBusy:
+		n += 4
+	case resp.Status == StatusDraining:
 	case op == OpGet && resp.Status == StatusOK:
 		n += 8
 	case op == OpPut, op == OpDelete, op == OpContains:
@@ -126,8 +147,11 @@ func AppendResponse(dst []byte, op byte, resp *Response) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
 	dst = append(dst, resp.Status)
 	switch {
-	case resp.Status == StatusErr, op == OpStats:
+	case resp.Status == StatusErr, resp.Status == StatusOK && op == OpStats:
 		dst = append(dst, resp.Body...)
+	case resp.Status == StatusBusy:
+		dst = binary.LittleEndian.AppendUint32(dst, resp.RetryAfterMs)
+	case resp.Status == StatusDraining:
 	case op == OpGet && resp.Status == StatusOK:
 		dst = binary.LittleEndian.AppendUint64(dst, resp.Val)
 	case op == OpPut, op == OpDelete, op == OpContains:
@@ -149,7 +173,7 @@ func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n == 0 || n > MaxFrameLen {
-		return nil, fmt.Errorf("server: frame length %d outside (0,%d]", n, MaxFrameLen)
+		return nil, fmt.Errorf("server: frame length %d outside (0,%d]: %w", n, MaxFrameLen, ErrMalformed)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
@@ -176,15 +200,15 @@ func ReadRequest(r *bufio.Reader, req *Request) error {
 	body := payload[1:]
 	if !hasKey(req.Op) {
 		if req.Op != OpPing && req.Op != OpStats {
-			return fmt.Errorf("server: unknown opcode %d", req.Op)
+			return fmt.Errorf("server: unknown opcode %d: %w", req.Op, ErrMalformed)
 		}
 		if len(body) != 0 {
-			return fmt.Errorf("server: opcode %d carries %d unexpected body bytes", req.Op, len(body))
+			return fmt.Errorf("server: opcode %d carries %d unexpected body bytes: %w", req.Op, len(body), ErrMalformed)
 		}
 		return nil
 	}
 	if len(body) < 2 {
-		return fmt.Errorf("server: truncated key header")
+		return fmt.Errorf("server: truncated key header: %w", ErrMalformed)
 	}
 	klen := int(binary.LittleEndian.Uint16(body))
 	body = body[2:]
@@ -193,7 +217,7 @@ func ReadRequest(r *bufio.Reader, req *Request) error {
 		want += 8
 	}
 	if len(body) != want {
-		return fmt.Errorf("server: opcode %d body is %d bytes, want %d", req.Op, len(body), want)
+		return fmt.Errorf("server: opcode %d body is %d bytes, want %d: %w", req.Op, len(body), want, ErrMalformed)
 	}
 	req.Key = body[:klen]
 	if req.Op == OpPut {
@@ -211,19 +235,28 @@ func ReadResponse(r *bufio.Reader, op byte, resp *Response) error {
 	}
 	resp.buf = payload
 	resp.Status = payload[0]
-	resp.Val, resp.Flag, resp.Body = 0, false, payload[:0]
+	resp.Val, resp.Flag, resp.Body, resp.RetryAfterMs = 0, false, payload[:0], 0
 	body := payload[1:]
 	switch {
-	case resp.Status == StatusErr, op == OpStats:
+	case resp.Status == StatusErr, resp.Status == StatusOK && op == OpStats:
 		resp.Body = body
+	case resp.Status == StatusBusy:
+		if len(body) != 4 {
+			return fmt.Errorf("server: BUSY response body is %d bytes, want 4: %w", len(body), ErrMalformed)
+		}
+		resp.RetryAfterMs = binary.LittleEndian.Uint32(body)
+	case resp.Status == StatusDraining:
+		if len(body) != 0 {
+			return fmt.Errorf("server: DRAINING response carries %d unexpected body bytes: %w", len(body), ErrMalformed)
+		}
 	case op == OpGet && resp.Status == StatusOK:
 		if len(body) != 8 {
-			return fmt.Errorf("server: GET response body is %d bytes, want 8", len(body))
+			return fmt.Errorf("server: GET response body is %d bytes, want 8: %w", len(body), ErrMalformed)
 		}
 		resp.Val = binary.LittleEndian.Uint64(body)
 	case op == OpPut, op == OpDelete, op == OpContains:
 		if len(body) != 1 {
-			return fmt.Errorf("server: flag response body is %d bytes, want 1", len(body))
+			return fmt.Errorf("server: flag response body is %d bytes, want 1: %w", len(body), ErrMalformed)
 		}
 		resp.Flag = body[0] != 0
 	}

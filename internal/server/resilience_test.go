@@ -1,0 +1,277 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"log"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"flit/internal/client"
+	"flit/internal/server"
+)
+
+func waitDraining(t *testing.T, srv *server.Server) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if srv.Stats().Draining {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server never reported draining")
+}
+
+func TestServerBusyUnderRateLimit(t *testing.T) {
+	srv, c := pipeServer(t, newTestStore(t), server.Options{
+		MaxBatch: 1, RateLimit: 1, RateBurst: 1,
+	})
+	if _, err := c.Put([]byte("a"), 1); err != nil {
+		t.Fatalf("first op must fit the burst: %v", err)
+	}
+	_, err := c.Put([]byte("b"), 2)
+	var be *client.BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("second op err = %v, want *BusyError", err)
+	}
+	if be.RetryAfter <= 0 {
+		t.Fatalf("BusyError.RetryAfter = %v, want positive hint", be.RetryAfter)
+	}
+	if st := srv.Stats(); st.ShedBusy != 1 {
+		t.Fatalf("Stats.ShedBusy = %d, want 1", st.ShedBusy)
+	}
+	// Control traffic is never shed.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping during overload: %v", err)
+	}
+}
+
+func TestServerMaxInflightShedsWholeBatch(t *testing.T) {
+	srv, c := pipeServer(t, newTestStore(t), server.Options{MaxInflight: 2})
+	for i := 0; i < 5; i++ {
+		c.Send(&server.Request{Op: server.OpPut, Key: []byte{byte('a' + i)}, Val: uint64(i)})
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Status != server.StatusBusy {
+			t.Fatalf("resp %d status = %d, want StatusBusy", i, resp.Status)
+		}
+		if resp.RetryAfterMs == 0 {
+			t.Fatalf("resp %d carries no retry-after hint", i)
+		}
+	}
+	if st := srv.Stats(); st.ShedBusy != 5 {
+		t.Fatalf("Stats.ShedBusy = %d, want 5", st.ShedBusy)
+	}
+	// A batch that fits the cap goes through on the same connection.
+	if _, err := c.Put([]byte("ok"), 7); err != nil {
+		t.Fatalf("within-cap op after shed: %v", err)
+	}
+}
+
+func TestServerMaxConnsRejectsWithBusy(t *testing.T) {
+	st := newTestStore(t)
+	srv := server.New(st, server.Options{MaxConns: 1})
+	cc1, sc1 := net.Pipe()
+	go srv.ServeConn(sc1)
+	c1 := client.New(cc1)
+	defer c1.Close()
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("first conn ping: %v", err)
+	}
+
+	cc2, sc2 := net.Pipe()
+	go srv.ServeConn(sc2)
+	defer cc2.Close()
+	// The over-cap connection gets one unsolicited BUSY frame, then EOF.
+	var resp server.Response
+	if err := server.ReadResponse(bufio.NewReader(cc2), 0, &resp); err != nil {
+		t.Fatalf("reading rejection frame: %v", err)
+	}
+	if resp.Status != server.StatusBusy {
+		t.Fatalf("rejection status = %d, want StatusBusy", resp.Status)
+	}
+	if st := srv.Stats(); st.ConnsRejected != 1 {
+		t.Fatalf("Stats.ConnsRejected = %d, want 1", st.ConnsRejected)
+	}
+	// The first connection is unaffected.
+	if _, err := c1.Put([]byte("x"), 1); err != nil {
+		t.Fatalf("first conn op after rejection: %v", err)
+	}
+}
+
+// TestServerDrainAnswersDraining pins the drain state machine with a
+// deterministic interleaving that net.Pipe's synchronous writes give us:
+// the client pipelines 12 ops (3 batches of MaxBatch=4) and only starts
+// reading after Shutdown is underway, so the server is parked writing
+// batch 1's responses when draining flips. Batch 1 was executed —
+// committed and acked. Batches 2 and 3 were still queued — every op
+// answered DRAINING, nothing executed.
+func TestServerDrainAnswersDraining(t *testing.T) {
+	st := newTestStore(t)
+	srv := server.New(st, server.Options{MaxBatch: 4})
+	cc, sc := net.Pipe()
+	go srv.ServeConn(sc)
+	c := client.New(cc)
+	defer c.Close()
+
+	key := func(i int) []byte { return []byte{byte('a' + i)} }
+	for i := 0; i < 12; i++ {
+		c.Send(&server.Request{Op: server.OpPut, Key: key(i), Val: uint64(i)})
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	waitDraining(t, srv)
+
+	acked, drained := 0, 0
+	for i := 0; i < 12; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		switch resp.Status {
+		case server.StatusOK:
+			acked++
+		case server.StatusDraining:
+			drained++
+		default:
+			t.Fatalf("recv %d: status %d", i, resp.Status)
+		}
+	}
+	if acked != 4 || drained != 8 {
+		t.Fatalf("acked=%d drained=%d, want 4 acked (batch 1) and 8 DRAINING", acked, drained)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := srv.Stats(); st.ShedDraining != 8 {
+		t.Fatalf("Stats.ShedDraining = %d, want 8", st.ShedDraining)
+	}
+}
+
+func TestServerShutdownIdleAndServeAfter(t *testing.T) {
+	st := newTestStore(t)
+	srv := server.New(st, server.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("idle Shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("tcp unavailable: %v", err)
+	}
+	if err := srv.Serve(ln); !errors.Is(err, server.ErrClosed) {
+		t.Fatalf("Serve after Shutdown = %v, want ErrClosed", err)
+	}
+}
+
+func TestServerIdleReap(t *testing.T) {
+	srv, c := pipeServer(t, newTestStore(t), server.Options{IdleTimeout: 30 * time.Millisecond})
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping before idling: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping on a reaped connection succeeded")
+	}
+	if st := srv.Stats(); st.ConnErrors["idle"] != 1 {
+		t.Fatalf("ConnErrors[idle] = %d, want 1", st.ConnErrors["idle"])
+	}
+}
+
+// TestServerSlowReaderDoesNotBlockOthers wedges one connection by never
+// reading its responses; the write budget must disconnect it while a
+// second connection keeps committing normally.
+func TestServerSlowReaderDoesNotBlockOthers(t *testing.T) {
+	st := newTestStore(t)
+	srv := server.New(st, server.Options{WriteTimeout: 40 * time.Millisecond})
+
+	cc1, sc1 := net.Pipe()
+	go srv.ServeConn(sc1)
+	slow := client.New(cc1)
+	defer slow.Close()
+	for i := 0; i < 4; i++ {
+		slow.Send(&server.Request{Op: server.OpPut, Key: []byte{byte(i)}, Val: 1})
+	}
+	if err := slow.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Never Recv: the server's response write stalls on the synchronous
+	// pipe until the budget reaps the connection.
+
+	cc2, sc2 := net.Pipe()
+	go srv.ServeConn(sc2)
+	good := client.New(cc2)
+	defer good.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := good.Put([]byte("live"), 9); err != nil {
+			t.Fatalf("healthy conn blocked by slow reader: %v", err)
+		}
+		if srv.Stats().ConnErrors["slow_reader"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow reader never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerFramingErrorCountedAndLogged(t *testing.T) {
+	var logBuf bytes.Buffer
+	st := newTestStore(t)
+	srv := server.New(st, server.Options{Logger: log.New(&logBuf, "", 0)})
+	cc, sc := net.Pipe()
+	go srv.ServeConn(sc)
+	defer cc.Close()
+
+	// A zero-length frame is a protocol violation.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, err := cc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server answers with the promised StatusErr diagnostic...
+	var resp server.Response
+	if err := server.ReadResponse(bufio.NewReader(cc), 0, &resp); err != nil {
+		t.Fatalf("reading diagnostic frame: %v", err)
+	}
+	if resp.Status != server.StatusErr {
+		t.Fatalf("diagnostic status = %d, want StatusErr", resp.Status)
+	}
+	// ...counts the failure by cause, and logs it once with the address.
+	deadline := time.Now().Add(time.Second)
+	for srv.Stats().ConnErrors["framing"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("framing error never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Stats().ConnErrors["framing"]; got != 1 {
+		t.Fatalf("ConnErrors[framing] = %d, want 1", got)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "framing") || strings.Count(logged, "\n") != 1 {
+		t.Fatalf("log = %q, want exactly one framing line", logged)
+	}
+}

@@ -24,16 +24,19 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flit/internal/metrics"
+	"flit/internal/resilience"
 	"flit/internal/store"
 )
 
@@ -48,11 +51,58 @@ type Options struct {
 	// summary and the timeseries sampler. Off, the hot path pays one
 	// nil check per batch and those consumers degrade gracefully.
 	Metrics bool
+
+	// --- resilience layer (admission control, deadlines, drain) ---
+	// Zero values disable each mechanism, so the hot path of an
+	// unconfigured server pays one nil/zero check per batch and no
+	// deadline syscalls.
+
+	// MaxConns caps concurrently served connections. A connection over
+	// the cap is answered with one unsolicited BUSY frame and closed.
+	MaxConns int
+	// MaxInflight caps store ops concurrently being executed across all
+	// connections; a batch that would exceed it is shed with BUSY.
+	MaxInflight int
+	// RateLimit admits at most this many store ops per second (token
+	// bucket, burst RateBurst); excess batches are shed with BUSY plus a
+	// retry-after hint. PING/STATS are control traffic, never shed.
+	RateLimit float64
+	// RateBurst is the token-bucket burst. Defaults to 4*MaxBatch and is
+	// clamped to at least MaxBatch so a full pipeline window can always
+	// (eventually) conform.
+	RateBurst int
+	// IdleTimeout reaps connections that sit idle at a pipeline head.
+	IdleTimeout time.Duration
+	// WriteTimeout is the slow-reader budget: the whole response batch
+	// must be accepted by the peer within it. A stalled reader is
+	// disconnected rather than wedging its handler goroutine (each
+	// connection commits its own batches, so a wedged writer would
+	// otherwise hold a batcher session hostage, not just itself).
+	WriteTimeout time.Duration
+	// Logger receives one line per failed connection (cause + remote
+	// address). nil keeps the server silent; counters still tick.
+	Logger *log.Logger
+
+	// UnsafeDrainAckFirst deliberately breaks Shutdown for the chaos
+	// harness's must-fail tooth: while draining, connections keep being
+	// served but batches are acknowledged WITHOUT being executed or
+	// committed. The ack⇒persisted contract is violated at the next
+	// crash — the chaos battery must detect this. Never set outside
+	// tests.
+	UnsafeDrainAckFirst bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 64
+	}
+	if o.RateLimit > 0 {
+		if o.RateBurst <= 0 {
+			o.RateBurst = 4 * o.MaxBatch
+		}
+		if o.RateBurst < o.MaxBatch {
+			o.RateBurst = o.MaxBatch
+		}
 	}
 	return o
 }
@@ -84,6 +134,16 @@ type Stats struct {
 
 	PWBs    uint64 `json:"pwbs"`    // PWB instructions issued serving requests
 	PFences uint64 `json:"pfences"` // PFence instructions issued serving requests
+
+	// Resilience accounting (compatible v2 extensions — JSON ignores
+	// unknown fields, so older clients are unaffected). Shed counts are
+	// store ops rejected without execution; ConnErrors classifies failed
+	// connections by cause (framing, reset, idle, slow_reader, panic).
+	ShedBusy      uint64            `json:"shed_busy"`
+	ShedDraining  uint64            `json:"shed_draining"`
+	ConnsRejected uint64            `json:"conns_rejected"`
+	ConnErrors    map[string]uint64 `json:"conn_errors,omitempty"`
+	Draining      bool              `json:"draining,omitempty"`
 
 	// Metrics is the v2 extension, present when the server's metrics
 	// core is enabled: cumulative server-side quantiles and batch-shape
@@ -135,6 +195,19 @@ type Server struct {
 	pwbs      atomic.Uint64
 	pfences   atomic.Uint64
 
+	// Resilience state. The shed counters are striped (batchers write on
+	// their own stripe); conn-level counters are plain atomics — they
+	// tick at connection granularity, not op granularity.
+	limiter       *resilience.Limiter
+	draining      atomic.Bool
+	connWG        sync.WaitGroup // live ServeConn handlers, drained by Shutdown
+	inflight      atomic.Int64   // store ops currently inside Exec
+	connsOpen     atomic.Int64   // currently served connections (MaxConns)
+	connsRejected atomic.Uint64  // connections turned away at MaxConns
+	shedBusy      metrics.Counter
+	shedDraining  metrics.Counter
+	connErrs      [numConnCauses]atomic.Uint64
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	open      map[net.Conn]struct{}
@@ -149,6 +222,20 @@ type Server struct {
 	idle   []*Batcher
 }
 
+// Connection failure causes for flit_conn_errors_total{cause=...} and
+// Stats.ConnErrors. A clean EOF is not an error and is not counted.
+const (
+	causeFraming    = iota // malformed frame (protocol violation)
+	causeReset             // transport error (peer reset, unexpected EOF)
+	causeIdle              // idle-timeout reap at a pipeline head
+	causeSlowReader        // write budget exceeded (stalled response reader)
+	causePanic             // handler panic, isolated and recovered
+	numConnCauses
+)
+
+// connCauseNames are the `cause` label values, indexed by cause.
+var connCauseNames = [numConnCauses]string{"framing", "reset", "idle", "slow_reader", "panic"}
+
 // New builds a server over st.
 func New(st *store.Store, opts Options) *Server {
 	s := &Server{
@@ -157,10 +244,25 @@ func New(st *store.Store, opts Options) *Server {
 		open:      make(map[net.Conn]struct{}),
 		epoch:     time.Now(),
 	}
+	s.limiter = resilience.NewLimiter(s.opts.RateLimit, s.opts.RateBurst)
 	if s.opts.Metrics {
 		s.metrics = NewMetrics()
 	}
 	return s
+}
+
+// connError counts a failed connection once per cause and logs it once
+// per connection with the remote address — the silent-hangup bug fix:
+// framing errors and peer resets used to vanish without a trace.
+func (s *Server) connError(c net.Conn, cause int, err error) {
+	s.connErrs[cause].Add(1)
+	if lg := s.opts.Logger; lg != nil {
+		addr := "?"
+		if ra := c.RemoteAddr(); ra != nil {
+			addr = ra.String()
+		}
+		lg.Printf("server: conn %s: %s: %v", addr, connCauseNames[cause], err)
+	}
 }
 
 // Store returns the served store.
@@ -182,6 +284,19 @@ func (s *Server) Stats() Stats {
 		Policy:    s.st.Opts().Policy,
 		PWBs:      s.pwbs.Load(),
 		PFences:   s.pfences.Load(),
+
+		ShedBusy:      s.shedBusy.Load(),
+		ShedDraining:  s.shedDraining.Load(),
+		ConnsRejected: s.connsRejected.Load(),
+		Draining:      s.draining.Load(),
+	}
+	for c := range s.connErrs {
+		if n := s.connErrs[c].Load(); n > 0 {
+			if st.ConnErrors == nil {
+				st.ConnErrors = make(map[string]uint64, numConnCauses)
+			}
+			st.ConnErrors[connCauseNames[c]] = n
+		}
 	}
 	if m := s.metrics; m != nil {
 		var lat, commit, bops, bfences, depth metrics.HistSnapshot
@@ -215,10 +330,10 @@ func (s *Server) Stats() Stats {
 var ErrClosed = errors.New("server: closed")
 
 // Serve accepts connections on ln until ln fails or the server is
-// closed, handling each connection on its own goroutine.
+// closed or draining, handling each connection on its own goroutine.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		s.mu.Unlock()
 		ln.Close()
 		return ErrClosed
@@ -232,7 +347,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			closed := s.closed
 			delete(s.listeners, ln)
 			s.mu.Unlock()
-			if closed {
+			if closed || s.draining.Load() {
 				return ErrClosed
 			}
 			return err
@@ -255,15 +370,60 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// track registers c for Close, returning false when the server is
-// already closed.
+// Shutdown drains the server gracefully: it stops accepting, wakes every
+// handler parked at a pipeline head (their next read fails immediately,
+// and anything already buffered is answered DRAINING), lets in-flight
+// batches finish their group commit and write their acks, then closes
+// everything. If ctx expires first the remaining connections are cut
+// hard (Close) and ctx's error is returned — but even then, no response
+// was ever written before its batch's fence, so ack⇒persisted holds.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	wake := make([]net.Conn, 0, len(s.open))
+	for c := range s.open {
+		wake = append(wake, c)
+	}
+	s.mu.Unlock()
+	// Expired read deadlines fail the blocking head read without
+	// touching data already buffered — the handler answers that with
+	// DRAINING on the way out.
+	now := time.Now()
+	for _, c := range wake {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.Close()
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// track registers c for Close and the drain waitgroup, returning false
+// when the server is already closed or draining. The draining check
+// under mu pairs with Shutdown's lock acquisition: every tracked
+// connection is either woken by Shutdown or rejected here, so the
+// waitgroup never gains handlers after the drain wait begins.
 func (s *Server) track(c net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		return false
 	}
 	s.open[c] = struct{}{}
+	s.connWG.Add(1)
 	return true
 }
 
@@ -273,15 +433,75 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// ServeConn serves one connection until EOF, a protocol error, or
-// Close. It is exported so tests and in-process benchmarks can serve
-// synthetic transports (net.Pipe) without a listener.
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// admit charges a batch of storeOps against the inflight cap and the
+// rate limiter. shed=true means answer BUSY (retry after retryMs) and
+// execute nothing; otherwise the ops are charged to inflight and the
+// caller must release them after Exec.
+func (s *Server) admit(storeOps int) (shed bool, retryMs uint32) {
+	n := int64(storeOps)
+	cur := s.inflight.Add(n)
+	if mi := s.opts.MaxInflight; mi > 0 && cur > int64(mi) {
+		s.inflight.Add(-n)
+		return true, 1
+	}
+	if ok, retry := s.limiter.Allow(int64(time.Since(s.epoch)), storeOps); !ok {
+		s.inflight.Add(-n)
+		ms := uint32((retry + time.Millisecond - 1) / time.Millisecond)
+		if ms == 0 {
+			ms = 1
+		}
+		return true, ms
+	}
+	return false, 0
+}
+
+// commitQuietly clears a batcher's possibly-deferred state after a
+// handler panic, reporting whether the session survived. Committing
+// applied-but-unacked effects is linearizable (the client never got a
+// response, so either outcome is a legal crash point); a session whose
+// commit itself panics is poisoned and must not be pooled.
+func commitQuietly(b *Batcher) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	b.bs.Commit()
+	return true
+}
+
+// ServeConn serves one connection until EOF, a protocol error, Close,
+// or a resilience decision (idle reap, slow-reader budget, drain). It
+// is exported so tests and in-process benchmarks can serve synthetic
+// transports (net.Pipe) without a listener.
 func (s *Server) ServeConn(c net.Conn) {
 	defer c.Close()
 	if !s.track(c) {
 		return
 	}
 	defer s.untrack(c)
+	defer s.connWG.Done()
+	if mc := s.opts.MaxConns; mc > 0 {
+		if s.connsOpen.Add(1) > int64(mc) {
+			s.connsOpen.Add(-1)
+			s.connsRejected.Add(1)
+			// One unsolicited BUSY frame tells the client this was
+			// admission control, not a crash; then hang up.
+			if s.opts.WriteTimeout > 0 {
+				c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			resp := Response{Status: StatusBusy, RetryAfterMs: 1}
+			c.Write(AppendResponse(nil, 0, &resp))
+			return
+		}
+		defer s.connsOpen.Add(-1)
+	}
 	s.conns.Add(1)
 	if m := s.metrics; m != nil {
 		m.ConnsOpen.Add(1)
@@ -289,7 +509,22 @@ func (s *Server) ServeConn(c net.Conn) {
 	}
 
 	b := s.getBatcher()
-	defer s.putBatcher(b)
+	// Panic isolation: one connection's failure (a store bug, an
+	// injected crash) must not take the process down or poison the
+	// batcher pool. The batcher returns to the pool only if its session
+	// still commits cleanly; otherwise it is dropped (its pmem thread
+	// registration leaks, bounded by the number of panics ever caught).
+	defer func() {
+		if r := recover(); r != nil {
+			s.connError(c, causePanic, fmt.Errorf("handler panic: %v", r))
+			if commitQuietly(b) {
+				s.putBatcher(b)
+			}
+			return
+		}
+		s.putBatcher(b)
+	}()
+
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
 	reqs := make([]Request, s.opts.MaxBatch)
@@ -308,31 +543,136 @@ func (s *Server) ServeConn(c net.Conn) {
 			bw.Flush()
 		}
 	}
+	// writeResps ships resps[:n] under the slow-reader budget; a false
+	// return means the connection is done (already counted and logged).
+	writeResps := func(n int) bool {
+		out = out[:0]
+		for i := 0; i < n; i++ {
+			out = AppendResponse(out, reqs[i].Op, &resps[i])
+		}
+		if s.opts.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+		_, err := bw.Write(out)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err == nil {
+			return true
+		}
+		if isTimeout(err) {
+			s.connError(c, causeSlowReader, err)
+		} else {
+			s.connError(c, causeReset, err)
+		}
+		return false
+	}
+	// drainReject answers whatever the client already pipelined with
+	// DRAINING (store ops; control ops are served) on the way out — the
+	// whole buffered pipeline, however many batch windows deep.
+	drainReject := func() {
+		for br.Buffered() > 0 {
+			n := 0
+			for n < s.opts.MaxBatch && br.Buffered() > 0 {
+				if err := ReadRequest(br, &reqs[n]); err != nil {
+					return
+				}
+				n++
+			}
+			for i := 0; i < n; i++ {
+				if hasKey(reqs[i].Op) {
+					resps[i] = Response{Status: StatusDraining}
+					s.shedDraining.Inc(b.id)
+				} else {
+					s.serveControl(reqs[i].Op, &resps[i])
+				}
+			}
+			if !writeResps(n) {
+				return
+			}
+		}
+	}
+	// readFailed classifies and accounts a request-read failure. A clean
+	// EOF is a normal hangup; a deadline expiry is either the Shutdown
+	// wake-up (answer DRAINING) or the idle reaper; a malformed frame
+	// gets the best-effort diagnostic; anything else is transport loss.
+	readFailed := func(err error) {
+		switch {
+		case err == io.EOF:
+		case isTimeout(err):
+			if s.draining.Load() {
+				drainReject()
+			} else {
+				s.connError(c, causeIdle, err)
+			}
+		case errors.Is(err, ErrMalformed):
+			s.connError(c, causeFraming, err)
+			bail(err)
+		default:
+			s.connError(c, causeReset, err)
+		}
+	}
 	for {
+		if s.draining.Load() && !s.opts.UnsafeDrainAckFirst {
+			drainReject()
+			return
+		}
+		if s.opts.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		} else if s.opts.UnsafeDrainAckFirst && s.draining.Load() {
+			// Broken-drain mode keeps serving: clear the expired
+			// deadline Shutdown set so the tooth stays exposed.
+			c.SetReadDeadline(time.Time{})
+		}
 		// Block for the pipeline's head, then drain what is already
 		// buffered — the group-commit window is "whatever the client
 		// managed to pipeline", capped at MaxBatch.
 		if err := ReadRequest(br, &reqs[0]); err != nil {
-			bail(err)
+			if isTimeout(err) && s.opts.UnsafeDrainAckFirst && s.draining.Load() {
+				// Broken-drain mode: Shutdown's wake-up deadline fired at
+				// a parked head read (nothing consumed on a pipe). Clear
+				// it and keep serving so the tooth bites deterministically.
+				c.SetReadDeadline(time.Time{})
+				continue
+			}
+			readFailed(err)
 			return
 		}
 		n := 1
 		for n < s.opts.MaxBatch && br.Buffered() > 0 {
 			if err := ReadRequest(br, &reqs[n]); err != nil {
-				bail(err)
+				readFailed(err)
 				return
 			}
 			n++
 		}
-		b.Exec(reqs[:n], resps[:n])
-		out = out[:0]
+		storeOps := 0
 		for i := 0; i < n; i++ {
-			out = AppendResponse(out, reqs[i].Op, &resps[i])
+			if hasKey(reqs[i].Op) {
+				storeOps++
+			}
 		}
-		if _, err := bw.Write(out); err != nil {
-			return
+		if storeOps > 0 {
+			if shed, retryMs := s.admit(storeOps); shed {
+				for i := 0; i < n; i++ {
+					if hasKey(reqs[i].Op) {
+						resps[i] = Response{Status: StatusBusy, RetryAfterMs: retryMs}
+						s.shedBusy.Inc(b.id)
+					} else {
+						s.serveControl(reqs[i].Op, &resps[i])
+					}
+				}
+				if !writeResps(n) {
+					return
+				}
+				continue
+			}
+			b.Exec(reqs[:n], resps[:n])
+			s.inflight.Add(-int64(storeOps))
+		} else {
+			b.Exec(reqs[:n], resps[:n])
 		}
-		if err := bw.Flush(); err != nil {
+		if !writeResps(n) {
 			return
 		}
 		for i := 0; i < n; i++ {
@@ -415,6 +755,21 @@ func (b *Batcher) Exec(reqs []Request, resps []Response) {
 			storeOps++
 		}
 	}
+	if storeOps > 0 && b.srv.opts.UnsafeDrainAckFirst && b.srv.draining.Load() {
+		// Chaos tooth (see Options.UnsafeDrainAckFirst): acknowledge the
+		// batch without executing or persisting anything. The served
+		// counters still tick, so the battery sees confident acks that a
+		// crash image — or even a plain re-read — will disprove.
+		for i := range reqs {
+			if hasKey(reqs[i].Op) {
+				resps[i] = Response{Status: StatusOK, Flag: true}
+			}
+		}
+		b.srv.batches.Add(1)
+		b.srv.opsServed.Add(uint64(storeOps))
+		b.answerControl(reqs, resps)
+		return
+	}
 	// With metrics on, service time is measured at batch granularity:
 	// three clock reads per Exec — [t0,t1) brackets the execution loop
 	// and is attributed to the batch's store ops in equal shares, and
@@ -486,27 +841,39 @@ func (b *Batcher) Exec(reqs []Request, resps []Response) {
 	}
 	// Non-store opcodes are answered after the commit, preserving
 	// response order.
+	b.answerControl(reqs, resps)
+}
+
+// answerControl fills in the responses for every non-store request in
+// the batch.
+func (b *Batcher) answerControl(reqs []Request, resps []Response) {
 	for i := range reqs {
 		if hasKey(reqs[i].Op) {
 			continue
 		}
-		resp := &resps[i]
-		resp.Status, resp.Val, resp.Flag, resp.Body = StatusOK, 0, false, nil
-		switch reqs[i].Op {
-		case OpPing:
-		case OpStats:
-			body, err := json.Marshal(b.srv.Stats())
-			if err != nil {
-				resp.Status = StatusErr
-				resp.Body = []byte(err.Error())
-				break
-			}
-			resp.Body = body
-		default:
-			// Unreachable from the wire (ReadRequest rejects unknown
-			// opcodes before Exec); guards direct Exec callers.
+		b.srv.serveControl(reqs[i].Op, &resps[i])
+	}
+}
+
+// serveControl answers a PING or STATS request. Control traffic is
+// always served — even while store ops are being shed or drained, it is
+// how clients find out what is happening.
+func (s *Server) serveControl(op byte, resp *Response) {
+	resp.Status, resp.Val, resp.Flag, resp.Body, resp.RetryAfterMs = StatusOK, 0, false, nil, 0
+	switch op {
+	case OpPing:
+	case OpStats:
+		body, err := json.Marshal(s.Stats())
+		if err != nil {
 			resp.Status = StatusErr
-			resp.Body = []byte(fmt.Sprintf("unknown opcode %d", reqs[i].Op))
+			resp.Body = []byte(err.Error())
+			break
 		}
+		resp.Body = body
+	default:
+		// Unreachable from the wire (ReadRequest rejects unknown
+		// opcodes before Exec); guards direct Exec callers.
+		resp.Status = StatusErr
+		resp.Body = []byte(fmt.Sprintf("unknown opcode %d", op))
 	}
 }
