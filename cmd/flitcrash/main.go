@@ -78,7 +78,7 @@ func modeByName(name string) dstruct.Mode {
 
 func main() {
 	rounds := flag.Int("rounds", 60, "seeded crash rounds per combination")
-	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst|lockmap; with -dlcheck also queue|store|store-batched|store-combined)")
+	dsFilter := flag.String("ds", "", "restrict to one structure (list|hashtable|skiplist|bst|lockmap; with -dlcheck also queue|store|store-batched|store-combined|store-split)")
 	modeFilter := flag.String("mode", "", "restrict to one durability mode (automatic|nvtraverse|manual)")
 	polFilter := flag.String("policy", "", "restrict to one policy (flit-ht|flit-adjacent|flit-packed|flit-perline|plain|izraelevitz|link-and-persist)")
 	seed0 := flag.Int64("seed", 1, "first seed")
@@ -308,8 +308,32 @@ func runDLCheck(rounds int, dsFilter, modeFilter, polFilter string, seed0 int64,
 		}
 	}
 
+	// The online shard-split path: a 4→6 split (non-doubling, so keys move
+	// between serving shards as well as into new ones) migrates while the
+	// workers run, and every enumerated boundary — before activation, mid
+	// migration, after completion — must recover a complete, duplicate-free
+	// keyspace.
+	if dsFilter == "" || dsFilter == "store-split" {
+		for _, mode := range modes {
+			for _, polName := range polNamesFor(true) {
+				for r := 0; r < rounds; r++ {
+					seed := seed0 + int64(r)
+					st, err := crashtest.NewDLStore(polName, mode)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "flitcrash: %v\n", err)
+						return 2
+					}
+					opts := dlcheck.DefaultOptions(seed)
+					opts.Budget = budget
+					rep := crashtest.RunStoreSplitDL(st, 6, opts)
+					report(fmt.Sprintf("store-split/%s/%s", mode, polName), rep, seed)
+				}
+			}
+		}
+	}
+
 	if total == 0 {
-		fmt.Fprintf(os.Stderr, "flitcrash: no dlcheck runs matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst|queue|store|store-batched|store-combined; the queue is manual-only, link-and-persist applies only to list|hashtable|skiplist|lockmap|queue)\n",
+		fmt.Fprintf(os.Stderr, "flitcrash: no dlcheck runs matched -ds %q / -mode %q / -policy %q (structures: list|hashtable|skiplist|lockmap|bst|queue|store|store-batched|store-combined|store-split; the queue is manual-only, link-and-persist applies only to list|hashtable|skiplist|lockmap|queue)\n",
 			dsFilter, modeFilter, polFilter)
 		return 2
 	}

@@ -153,6 +153,14 @@ type Harness struct {
 	// recovered key set. An error is reported as a violation (recovery
 	// must succeed from every reachable crash state).
 	Recover func(img []uint64) (map[uint64]bool, error)
+	// During, when non-nil, runs concurrently with the recording workers —
+	// a background mutation of the target whose persist boundaries should
+	// land inside the trace (the store's online shard split migrates here,
+	// so crash points are enumerated mid-migration). Run joins it after
+	// the workers, before the trace closes; it must leave the target
+	// quiescent and must not change the key membership the recorded
+	// operations establish.
+	During func()
 }
 
 // Instance couples a live structure with a quiescent snapshot function
@@ -262,6 +270,13 @@ func Run(h Harness, opts Options) *Report {
 		sessions[w] = h.NewSession()
 	}
 	var wg sync.WaitGroup
+	if h.During != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.During()
+		}()
+	}
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {

@@ -74,6 +74,12 @@ type Config struct {
 	// RootSlot selects which persistent root (pheap.Root) anchors the
 	// structure; recovery looks there.
 	RootSlot int
+	// RootAddr, when non-zero, anchors the structure at an explicit word
+	// address instead of a root-region slot. The store's online shard
+	// splitting uses it: the heap's root region is sized once at
+	// creation, so shards grown later anchor in a persisted directory
+	// object whose slot addresses recovery reads from the superblock.
+	RootAddr pmem.Addr
 	// Stride is the distance in words between consecutive persisted
 	// fields of a node: 1 normally, core.AdjacentStride under the
 	// flit-adjacent counter placement (each field carries its counter in
@@ -99,8 +105,14 @@ func (c *Config) Field(base pmem.Addr, i int) pmem.Addr {
 // Words returns the allocation size of an object with n persisted fields.
 func (c *Config) Words(n int) int { return n * c.Stride }
 
-// Root returns the address of the structure's root slot word.
-func (c *Config) Root() pmem.Addr { return c.Heap.Root(c.RootSlot) }
+// Root returns the address of the structure's root anchor word: the
+// explicit RootAddr when set, the RootSlot root-region word otherwise.
+func (c *Config) Root() pmem.Addr {
+	if c.RootAddr != 0 {
+		return c.RootAddr
+	}
+	return c.Heap.Root(c.RootSlot)
+}
 
 // Ctx bundles the per-thread execution state: the pmem thread (write-back
 // queue, stats), a heap arena, and an epoch-reclamation handle.

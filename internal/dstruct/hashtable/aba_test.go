@@ -1,0 +1,142 @@
+package hashtable
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flit/internal/dstruct"
+	"flit/internal/dstruct/dstest"
+)
+
+// abaPoison stamps every freed word. Its pointer payload (low 48 bits)
+// is far outside any test memory, so a reader that chases a recycled
+// node's next pointer trips an out-of-range access deterministically
+// instead of silently wandering a stale chain.
+const abaPoison = 0x0FFF_FFFF_FFFF_FFF7
+
+// abaConfig returns a flit-HT config on a fresh heap.
+func abaConfig(t *testing.T) dstruct.Config {
+	t.Helper()
+	for _, cfg := range dstest.Configs(1<<20, false) {
+		if cfg.Policy.Name() == "flit-HT(64KB)" {
+			return cfg
+		}
+	}
+	t.Fatal("no flit-HT config available")
+	panic("unreachable")
+}
+
+// runABA churns a block of keys in a single-bucket table while
+// concurrent readers probe a key that sits behind all of them in the
+// chain and is never deleted. Every freed block is poisoned. The churn
+// runs in rounds — delete every churn key, yield, reinsert every churn
+// key — so a reader paused mid-traversal (the only way goroutines
+// interleave on one CPU) resumes holding a pointer into a freed,
+// poisoned block. With epoch reclamation doing its job no reader can
+// ever observe the poison: the grace period keeps every block a pinned
+// reader might hold un-recycled, so a probe is ALWAYS found and never
+// faults. Each missed probe or recovered fault counts as one anomaly.
+// unsafeFree routes retirements around the grace period
+// (reclaim.Handle.SetUnsafeImmediateFree) — the mutation tooth the
+// battery must catch.
+func runABA(t *testing.T, unsafeFree bool, maxRounds int) int {
+	t.Helper()
+	cfg := abaConfig(t)
+	tb := New(cfg, 1) // one bucket: the probe key chains behind every churn key
+	wr := tb.Open(dstruct.ThreadOpts{})
+	defer wr.Close()
+	const churnKeys, probeKey = 32, 1000 // sorted chain: head → 0..31 → 1000
+	if !wr.Insert(probeKey, 1) {
+		t.Fatal("seed insert failed")
+	}
+	for k := uint64(0); k < churnKeys; k++ {
+		if !wr.Insert(k, 1) {
+			t.Fatal("seed insert failed")
+		}
+	}
+
+	cfg.Heap.SetFreePoison(abaPoison, true)
+	defer cfg.Heap.SetFreePoison(0, false)
+	if unsafeFree {
+		wr.Ctx().H.SetUnsafeImmediateFree(true)
+	}
+
+	var anomalies atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rd := tb.Open(dstruct.ThreadOpts{})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				found := func() (found bool) {
+					defer func() {
+						if recover() != nil {
+							// Out-of-range access: the reader chased a
+							// poisoned pointer through a recycled block.
+							anomalies.Add(1)
+							found = true // already counted; don't double-count
+						}
+					}()
+					return rd.Contains(probeKey)
+				}()
+				if !found {
+					anomalies.Add(1) // probe key vanished: stale-chain read
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < maxRounds; i++ {
+		for k := uint64(0); k < churnKeys; k++ {
+			if !wr.Delete(k) {
+				t.Fatalf("churn delete of %d failed", k)
+			}
+		}
+		// Every churn block is now free (and, without the grace period,
+		// poisoned). Hand the CPU to the readers here: one parked
+		// mid-traversal resumes into the carnage.
+		runtime.Gosched()
+		for k := uint64(0); k < churnKeys; k++ {
+			if !wr.Insert(k, 1) {
+				t.Fatalf("churn insert of %d failed", k)
+			}
+		}
+		runtime.Gosched()
+		if unsafeFree && anomalies.Load() > 0 {
+			break // tooth detected; no need to keep faulting
+		}
+	}
+	close(stop)
+	wg.Wait()
+	return int(anomalies.Load())
+}
+
+// TestABASafeUnderReclamation: with the grace period in force, poisoned
+// blocks are never visible to a pinned reader — zero anomalies across
+// the whole churn. Run with -race: it also proves the retire path
+// publishes nodes safely.
+func TestABASafeUnderReclamation(t *testing.T) {
+	if n := runABA(t, false, 50); n != 0 {
+		t.Fatalf("reader observed %d anomalies under epoch reclamation, want 0", n)
+	}
+}
+
+// TestABAToothDetectsImmediateFree is the battery's mutation tooth:
+// freeing on delete instead of retiring MUST be observed — a reader
+// dereferences a recycled (poisoned) block within the iteration budget.
+// If this test ever passes with zero anomalies, the battery has lost
+// its teeth and TestABASafeUnderReclamation proves nothing.
+func TestABAToothDetectsImmediateFree(t *testing.T) {
+	if n := runABA(t, true, 5000); n == 0 {
+		t.Fatal("immediate-free mutation produced no anomalies: the ABA battery cannot detect use-after-free")
+	}
+}

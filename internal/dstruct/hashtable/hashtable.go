@@ -43,6 +43,8 @@ func New(cfg dstruct.Config, buckets int) *Table {
 	// the header contents before the root points at them.
 	pol.Store(t, cfg.Root(), uint64(base), core.P)
 	pol.Complete(t)
+	ar.Release()
+	t.Release()
 	return attach(cfg, base, uint64(b))
 }
 
@@ -70,10 +72,19 @@ func (t *Table) Name() string { return "hashtable" }
 // Buckets returns the bucket count.
 func (t *Table) Buckets() int { return int(t.buckets) }
 
+// Base returns the table header's persistent address — the value its
+// anchor word holds. The store's shard-split directory copies it when a
+// grown shard's anchor moves to a new directory object.
+func (t *Table) Base() pmem.Addr { return t.base }
+
+// bucketIdx returns the bucket index for key.
+func (t *Table) bucketIdx(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
 // bucketHead returns the address of the bucket link word for key.
 func (t *Table) bucketHead(key uint64) pmem.Addr {
-	h := (key * 0x9E3779B97F4A7C15) >> t.shift
-	return t.cfg.Field(t.base, 1+int(h))
+	return t.cfg.Field(t.base, 1+t.bucketIdx(key))
 }
 
 // Thread is a per-goroutine handle to the table.
@@ -113,6 +124,10 @@ func (t *Table) NewThreadWithPolicy(th *pmem.Thread, ar *pheap.Arena, pol core.P
 
 // Ctx exposes the thread's execution context (stats, crash injection).
 func (th *Thread) Ctx() dstruct.Ctx { return th.lt.Ctx() }
+
+// Close releases the handle's reclamation slot and any pmem thread or
+// arena the handle registered itself (see list.Thread.Close). Idempotent.
+func (th *Thread) Close() { th.lt.Close() }
 
 // Insert adds key→val if absent.
 func (th *Thread) Insert(key, val uint64) bool {
@@ -205,14 +220,51 @@ func BeginRecover(cfg dstruct.Config) *Recovery {
 // Keys reports the surviving pair count gathered by BeginRecover.
 func (r *Recovery) Keys() int { return r.keys }
 
+// Pairs returns a copy of the union of the gathered per-bucket pairs —
+// the table's surviving contents. Callers that redistribute keys across
+// tables (the store's shard-split recovery) read every table's pairs,
+// recompute each table's final contents, and rebuild with CompleteWith.
+func (r *Recovery) Pairs() map[uint64]uint64 {
+	out := make(map[uint64]uint64, r.keys)
+	for _, b := range r.pairs {
+		for k, v := range b {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // Complete rebuilds every bucket chain from the gathered pairs and
 // fences (phase two), returning the recovered table and its key count.
 func (r *Recovery) Complete() (*Table, int) {
+	return r.complete(r.pairs)
+}
+
+// CompleteWith is Complete with the table's final contents overridden:
+// the chains are rebuilt to hold exactly pairs, partitioned by the
+// table's own bucket hash. The store's shard-split recovery uses it to
+// move keys between shards while rebuilding each table in place.
+func (r *Recovery) CompleteWith(pairs map[uint64]uint64) (*Table, int) {
+	byBucket := make([]map[uint64]uint64, r.tbl.buckets)
+	for i := range byBucket {
+		byBucket[i] = make(map[uint64]uint64)
+	}
+	for k, v := range pairs {
+		byBucket[r.tbl.bucketIdx(k)][k] = v
+	}
+	return r.complete(byBucket)
+}
+
+func (r *Recovery) complete(byBucket []map[uint64]uint64) (*Table, int) {
 	t := r.cfg.Heap.Mem().RegisterThread()
 	ar := r.cfg.Heap.NewArena()
-	for i := range r.pairs {
-		list.RebuildAt(&r.cfg, t, ar, r.cfg.Field(r.tbl.base, 1+i), r.pairs[i])
+	n := 0
+	for i := range byBucket {
+		list.RebuildAt(&r.cfg, t, ar, r.cfg.Field(r.tbl.base, 1+i), byBucket[i])
+		n += len(byBucket[i])
 	}
 	t.PFence()
-	return r.tbl, r.keys
+	ar.Release()
+	t.Release()
+	return r.tbl, n
 }

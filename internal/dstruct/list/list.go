@@ -45,6 +45,7 @@ func New(cfg dstruct.Config) *List {
 	l := &List{cfg: cfg, dom: reclaim.NewDomain()}
 	t := cfg.Heap.Mem().RegisterThread()
 	cfg.Policy.StorePrivate(t, cfg.Root(), 0, core.P)
+	t.Release()
 	return l
 }
 
@@ -66,6 +67,11 @@ type Thread struct {
 	// plain sessions keep the base policy.
 	cfg dstruct.Config
 	c   dstruct.Ctx
+	// ownsT/ownsAr record whether Open registered the pmem thread/arena
+	// itself (nil ThreadOpts fields), in which case Close releases them;
+	// resources passed in by the caller stay the caller's to release.
+	ownsT  bool
+	ownsAr bool
 }
 
 // NewThread creates a standalone per-goroutine handle — the Set
@@ -83,14 +89,36 @@ func (l *List) Open(o dstruct.ThreadOpts) *Thread {
 		cfg.Policy = o.Policy
 	}
 	t := o.T
+	ownsT := false
 	if t == nil {
 		t = cfg.Heap.Mem().RegisterThread()
+		ownsT = true
 	}
 	ar := o.Arena
+	ownsAr := false
 	if ar == nil {
 		ar = cfg.Heap.NewArena()
+		ownsAr = true
 	}
-	return &Thread{l: l, cfg: cfg, c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandle(ar)}}
+	return &Thread{
+		l: l, cfg: cfg, ownsT: ownsT, ownsAr: ownsAr,
+		c: dstruct.Ctx{T: t, Ar: ar, H: l.dom.NewHandleOwned(ar, t)},
+	}
+}
+
+// Close releases the handle's per-structure resources: the reclamation
+// handle deregisters from the list's domain (retirees still in their
+// grace period become domain orphans), and a pmem thread or arena the
+// handle registered itself is released for reuse. Idempotent; the handle
+// must not be used afterwards.
+func (t *Thread) Close() {
+	t.c.H.Close()
+	if t.ownsAr {
+		t.c.Ar.Release()
+	}
+	if t.ownsT {
+		t.c.T.Release()
+	}
 }
 
 // NewThreadWith creates a handle that shares an existing pmem thread and

@@ -72,5 +72,7 @@ func Recover(cfg dstruct.Config) *List {
 	pairs := GatherAt(&cfg, cfg.Root())
 	RebuildAt(&cfg, t, ar, cfg.Root(), pairs)
 	t.PFence()
+	ar.Release()
+	t.Release()
 	return Attach(cfg)
 }

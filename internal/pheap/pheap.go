@@ -16,6 +16,7 @@ package pheap
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"flit/internal/pmem"
@@ -59,6 +60,26 @@ type Heap struct {
 	mem   *pmem.Memory
 	roots int
 	bump  atomic.Uint64 // next unallocated word
+
+	// central holds free blocks and chunk remainders surrendered by
+	// released arenas, so memory recycled by a session outlives the
+	// session: without it, per-session free lists would die with their
+	// arenas and a connection churn would grow the watermark without
+	// bound even though every delete freed its node.
+	centralMu sync.Mutex
+	central   map[int][]pmem.Addr // size class -> surrendered blocks
+	extents   []extent            // surrendered partial chunks
+
+	// poison, when armed, stamps every freed block's words (volatile
+	// layer only) so a use-after-free dereference trips deterministically
+	// — the ABA battery's detector.
+	poisonOn  atomic.Bool
+	poisonVal uint64
+}
+
+// extent is an unconsumed tail of a released arena's bump chunk.
+type extent struct {
+	start, end uint64
 }
 
 // New creates a heap covering all of mem past the default root region.
@@ -169,6 +190,7 @@ type Arena struct {
 	allocs     uint64
 	frees      uint64
 	recycleHit uint64
+	released   bool
 }
 
 // NewArena creates a thread-private allocator on h.
@@ -190,6 +212,10 @@ func (a *Arena) Alloc(n int) pmem.Addr {
 		a.recycleHit++
 		return p
 	}
+	if p, ok := a.h.centralTake(c); ok {
+		a.recycleHit++
+		return p
+	}
 	align := uint64(c)
 	if align > pmem.WordsPerLine {
 		align = pmem.WordsPerLine
@@ -197,11 +223,81 @@ func (a *Arena) Alloc(n int) pmem.Addr {
 	for {
 		start := (a.chunk + align - 1) &^ (align - 1)
 		if start+uint64(c) <= a.chunkEnd {
+			a.carve(a.chunk, start) // alignment hole, if any
 			a.chunk = start + uint64(c)
 			return pmem.Addr(start)
 		}
+		a.surrenderTail()
+		if s, e, ok := a.h.extentTake(uint64(c), align); ok {
+			a.chunk, a.chunkEnd = s, e
+			continue
+		}
 		a.chunk, a.chunkEnd = a.h.grabChunk(c)
 	}
+}
+
+// surrenderTail parks the unconsumed tail of the arena's bump chunk
+// before the arena abandons it for a new one: line-sized-or-larger tails
+// go to the heap's extent list, smaller ones are carved onto the arena's
+// free lists. Every chunk switch used to drop its tail on the floor —
+// a few words per session that grew the watermark without bound under
+// connection churn even though every delete freed its node.
+func (a *Arena) surrenderTail() {
+	start, end := a.chunk, a.chunkEnd
+	a.chunk, a.chunkEnd = 0, 0
+	if end <= start {
+		return
+	}
+	if end-start >= pmem.WordsPerLine {
+		h := a.h
+		h.centralMu.Lock()
+		h.extents = append(h.extents, extent{start, end})
+		h.centralMu.Unlock()
+		return
+	}
+	a.carve(start, end)
+}
+
+// carve splits the sub-line range [start,end) into aligned size-class
+// blocks on the arena's free lists, so alignment holes and chunk-tail
+// fragments stay allocatable instead of leaking.
+func (a *Arena) carve(start, end uint64) {
+	for start < end {
+		c := uint64(1)
+		for c*2 <= end-start && start%(c*2) == 0 && c*2 <= pmem.WordsPerLine {
+			c *= 2
+		}
+		a.free[int(c)] = append(a.free[int(c)], pmem.Addr(start))
+		start += c
+	}
+}
+
+// centralTake pops one surrendered block of size class c, if any.
+func (h *Heap) centralTake(c int) (pmem.Addr, bool) {
+	h.centralMu.Lock()
+	defer h.centralMu.Unlock()
+	fl := h.central[c]
+	if len(fl) == 0 {
+		return 0, false
+	}
+	p := fl[len(fl)-1]
+	h.central[c] = fl[:len(fl)-1]
+	return p, true
+}
+
+// extentTake pops a surrendered chunk tail that can hold an aligned
+// object of n words, if any.
+func (h *Heap) extentTake(n, align uint64) (start, end uint64, ok bool) {
+	h.centralMu.Lock()
+	defer h.centralMu.Unlock()
+	for i, x := range h.extents {
+		s := (x.start + align - 1) &^ (align - 1)
+		if s+n <= x.end {
+			h.extents = append(h.extents[:i], h.extents[i+1:]...)
+			return x.start, x.end, true
+		}
+	}
+	return 0, 0, false
 }
 
 // Free recycles a block of n words previously returned by Alloc. The block
@@ -215,7 +311,62 @@ func (a *Arena) Alloc(n int) pmem.Addr {
 func (a *Arena) Free(p pmem.Addr, n int) {
 	c := sizeClass(n)
 	a.frees++
+	if a.h.poisonOn.Load() {
+		for i := 0; i < c; i++ {
+			a.h.mem.SetVolatileWord(p+pmem.Addr(i), a.h.poisonVal)
+		}
+	}
 	a.free[c] = append(a.free[c], p)
+}
+
+// Release surrenders the arena's recycled blocks and the unconsumed tail
+// of its bump chunk to the heap's central lists, where future arenas can
+// reuse them. Call it when the owning session closes: it is what keeps
+// the heap watermark bounded under session churn. Idempotent; the arena
+// must not allocate afterwards.
+func (a *Arena) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	a.surrenderTail() // sub-line tails carve onto a.free, larger go to extents
+	h := a.h
+	h.centralMu.Lock()
+	if len(a.free) > 0 {
+		if h.central == nil {
+			h.central = make(map[int][]pmem.Addr)
+		}
+		for c, fl := range a.free {
+			h.central[c] = append(h.central[c], fl...)
+		}
+	}
+	h.centralMu.Unlock()
+	a.free = nil
+}
+
+// SetFreePoison arms (or, with on=false, disarms) free-block poisoning:
+// every word of every subsequently freed block is overwritten with v in
+// the volatile layer. With epoch reclamation working correctly no pinned
+// reader can ever observe the poison; the ABA battery relies on that. Set
+// only while allocator users are quiescent.
+func (h *Heap) SetFreePoison(v uint64, on bool) {
+	h.poisonVal = v
+	h.poisonOn.Store(on)
+}
+
+// CentralStats reports the central recycling depot's content: blocks on
+// the size-class lists and words covered by surrendered chunk tails
+// (tests and diagnostics).
+func (h *Heap) CentralStats() (blocks int, extentWords uint64) {
+	h.centralMu.Lock()
+	defer h.centralMu.Unlock()
+	for _, fl := range h.central {
+		blocks += len(fl)
+	}
+	for _, x := range h.extents {
+		extentWords += x.end - x.start
+	}
+	return blocks, extentWords
 }
 
 // AllocStats reports allocation counters (tests and diagnostics).

@@ -93,3 +93,12 @@ func (m *Memory) PersistedWord(a Addr) uint64 {
 func (m *Memory) VolatileWord(a Addr) uint64 {
 	return atomic.LoadUint64(&m.words[a])
 }
+
+// SetVolatileWord overwrites a word in the volatile layer without a
+// Thread and without instruction accounting. Test instrumentation only —
+// the pheap free-poison hook uses it to stamp recycled blocks so a
+// use-after-free dereference trips deterministically. The persistent
+// shadow is untouched.
+func (m *Memory) SetVolatileWord(a Addr, v uint64) {
+	atomic.StoreUint64(&m.words[a], v)
+}

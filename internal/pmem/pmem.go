@@ -156,7 +156,14 @@ type Memory struct {
 	trace *Trace
 
 	mu      sync.Mutex
-	threads []*Thread
+	threads []*Thread // nil entries are released slots awaiting reuse
+	freeIDs []int     // released thread IDs, reused LIFO by RegisterThread
+
+	// retired accumulates the statistics and virtual-time high-water mark
+	// of released threads, so TotalStats and MaxVirtualTime keep counting
+	// work done by sessions that have since closed.
+	retired      Stats
+	retiredVTime uint64
 }
 
 // New creates a simulated memory of cfg.Words words. The persistent shadow
@@ -207,7 +214,9 @@ func (m *Memory) SetCosts(pwb, pfence, pfenceEntry, miss int) {
 // MaxVirtualTime returns the largest virtual-time counter across all
 // registered threads — the modeled makespan of a virtual-clock run.
 func (m *Memory) MaxVirtualTime() uint64 {
-	var max uint64
+	m.mu.Lock()
+	max := m.retiredVTime
+	m.mu.Unlock()
 	for _, t := range m.Threads() {
 		if t.vtime > max {
 			max = t.vtime
@@ -221,20 +230,58 @@ func (m *Memory) Words() int { return len(m.words) }
 
 // RegisterThread allocates a Thread handle. Every goroutine issuing memory
 // instructions must own a distinct Thread: write-back queues and statistics
-// are thread-local, mirroring per-core store buffers.
+// are thread-local, mirroring per-core store buffers. Slots released by
+// Thread.Release are reused, so a churn of short-lived sessions keeps the
+// registry bounded by the peak concurrent thread count.
 func (m *Memory) RegisterThread() *Thread {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Thread{M: m, ID: len(m.threads), crashIn: -1}
-	m.threads = append(m.threads, t)
+	t := &Thread{M: m, crashIn: -1}
+	if n := len(m.freeIDs); n > 0 {
+		t.ID = m.freeIDs[n-1]
+		m.freeIDs = m.freeIDs[:n-1]
+		m.threads[t.ID] = t
+	} else {
+		t.ID = len(m.threads)
+		m.threads = append(m.threads, t)
+	}
 	return t
 }
 
-// Threads returns all registered threads.
+// Threads returns all live (registered and not released) threads.
 func (m *Memory) Threads() []*Thread {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]*Thread(nil), m.threads...)
+	out := make([]*Thread, 0, len(m.threads))
+	for _, t := range m.threads {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Release returns the thread's registry slot for reuse by a future
+// RegisterThread. Its statistics and virtual time are folded into the
+// memory's retired accumulators, so TotalStats and MaxVirtualTime keep
+// reporting the released thread's contribution. Any write-backs still
+// pending in its queue are discarded — the same loss a crash at this
+// point would inflict — so callers that need durability must fence
+// before releasing. Release is idempotent; the thread must not issue
+// instructions afterwards.
+func (t *Thread) Release() {
+	m := t.M
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.ID >= len(m.threads) || m.threads[t.ID] != t {
+		return
+	}
+	m.retired.Add(&t.Stats)
+	if t.vtime > m.retiredVTime {
+		m.retiredVTime = t.vtime
+	}
+	m.threads[t.ID] = nil
+	m.freeIDs = append(m.freeIDs, t.ID)
 }
 
 // ArmCrash makes every subsequent instrumented instruction panic with
@@ -249,18 +296,26 @@ func (m *Memory) CrashArmed() bool { return m.crashArmed.Load() }
 // DisarmCrash clears a previously armed crash (test helper).
 func (m *Memory) DisarmCrash() { m.crashArmed.Store(false) }
 
-// TotalStats sums the statistics of all registered threads.
+// TotalStats sums the statistics of all live threads plus the retired
+// contributions of released ones.
 func (m *Memory) TotalStats() Stats {
-	var s Stats
+	m.mu.Lock()
+	s := m.retired
+	m.mu.Unlock()
 	for _, t := range m.Threads() {
 		s.Add(&t.Stats)
 	}
 	return s
 }
 
-// ResetStats zeroes the statistics of all registered threads. Callers must
-// ensure no thread is concurrently issuing instructions.
+// ResetStats zeroes the statistics of all live threads and the retired
+// accumulators. Callers must ensure no thread is concurrently issuing
+// instructions.
 func (m *Memory) ResetStats() {
+	m.mu.Lock()
+	m.retired = Stats{}
+	m.retiredVTime = 0
+	m.mu.Unlock()
 	for _, t := range m.Threads() {
 		t.Stats = Stats{}
 		t.vtime = 0

@@ -1,0 +1,83 @@
+package pmem
+
+import "testing"
+
+// TestThreadReleaseBoundsRegistry is the thread-leak regression test: N
+// register→work→release cycles must not grow the live thread registry —
+// released slots are reused — while TotalStats and MaxVirtualTime keep
+// counting the released threads' contributions.
+func TestThreadReleaseBoundsRegistry(t *testing.T) {
+	cfg := DefaultConfig(1 << 10)
+	cfg.VirtualClock = true
+	m := New(cfg)
+
+	const cycles = 100
+	var wantStores, wantPWBs uint64
+	for i := 0; i < cycles; i++ {
+		th := m.RegisterThread()
+		th.Store(8, uint64(i))
+		th.PWB(8)
+		th.PFence()
+		wantStores++
+		wantPWBs++
+		th.Release()
+	}
+	if n := len(m.Threads()); n != 0 {
+		t.Fatalf("live threads after %d register/release cycles: %d, want 0", cycles, n)
+	}
+
+	st := m.TotalStats()
+	if st.Stores != wantStores || st.PWBs != wantPWBs || st.PFences != wantPWBs {
+		t.Fatalf("TotalStats lost released threads: stores=%d pwbs=%d pfences=%d, want %d/%d/%d",
+			st.Stores, st.PWBs, st.PFences, wantStores, wantPWBs, wantPWBs)
+	}
+	if m.MaxVirtualTime() == 0 {
+		t.Fatal("MaxVirtualTime dropped released threads' virtual time")
+	}
+
+	// Slot reuse: interleaved live threads keep their slots; new
+	// registrations fill freed IDs before growing the table.
+	a, b := m.RegisterThread(), m.RegisterThread()
+	b.Release()
+	c := m.RegisterThread()
+	if c.ID != b.ID {
+		t.Fatalf("released slot %d not reused: new thread got %d", b.ID, c.ID)
+	}
+	if got := len(m.Threads()); got != 2 {
+		t.Fatalf("live threads: %d, want 2", got)
+	}
+	a.Release()
+	c.Release()
+}
+
+// TestThreadReleaseIdempotent guards the double-release and
+// stale-slot-owner cases: releasing twice, or releasing after the slot
+// was reassigned, must not disturb the new owner.
+func TestThreadReleaseIdempotent(t *testing.T) {
+	m := New(DefaultConfig(1 << 10))
+	a := m.RegisterThread()
+	a.Release()
+	b := m.RegisterThread() // takes a's slot
+	a.Release()             // stale release: must not evict b
+	if n := len(m.Threads()); n != 1 {
+		t.Fatalf("live threads after stale release: %d, want 1", n)
+	}
+	if m.Threads()[0] != b {
+		t.Fatal("stale Release evicted the slot's new owner")
+	}
+	b.Release()
+}
+
+// TestResetStatsClearsRetired: ResetStats must also zero the retired
+// accumulators, or released-thread history would leak into post-reset
+// measurements.
+func TestResetStatsClearsRetired(t *testing.T) {
+	m := New(DefaultConfig(1 << 10))
+	th := m.RegisterThread()
+	th.Store(8, 1)
+	th.Release()
+	m.ResetStats()
+	if st := m.TotalStats(); st.Stores != 0 {
+		t.Fatalf("retired stats survived ResetStats: %+v", st)
+	}
+}

@@ -61,6 +61,11 @@ type Thread struct {
 	// crashIn, when >= 0, counts down instrumented instructions and
 	// injects a crash when it reaches zero (deterministic crash points).
 	crashIn int64
+
+	// crashed is set (before the panic) when crash injection kills the
+	// thread. Observers — the reclamation orphan rule — use it to tell a
+	// handle whose owner provably unwound from one that is merely slow.
+	crashed atomic.Bool
 }
 
 // charge applies a modeled latency cost: a calibrated spin by default,
@@ -96,14 +101,22 @@ func (t *Thread) CheckCrash() {
 	if t.crashIn >= 0 {
 		if t.crashIn == 0 {
 			t.crashIn = -1
+			t.crashed.Store(true)
 			panic(ErrCrashed)
 		}
 		t.crashIn--
 	}
 	if t.M.crashArmed.Load() {
+		t.crashed.Store(true)
 		panic(ErrCrashed)
 	}
 }
+
+// Crashed reports whether crash injection has killed this thread. Once
+// set, the owning goroutine has unwound (the flag is stored immediately
+// before the ErrCrashed panic) and the thread never issues another
+// instruction.
+func (t *Thread) Crashed() bool { return t.crashed.Load() }
 
 // touch charges the post-invalidation miss if the line was flushed under
 // InvalidateOnPWB and nobody has re-fetched it yet.

@@ -9,6 +9,15 @@
 // block retired in epoch e is recycled only once the global epoch reaches
 // e+2, by which time every thread that could have held a reference has
 // left its critical section.
+//
+// Handles have a full lifecycle: Close deregisters a handle so a churn of
+// short-lived sessions does not grow the domain forever, moving its
+// not-yet-safe retirees to a domain-level orphan list that surviving
+// handles scavenge as the epoch advances. An orphan rule covers handles
+// whose owner died by crash injection mid-operation: a pinned announcement
+// whose owning pmem.Thread reports Crashed() is adopted during epoch
+// advancement instead of wedging the epoch (and with it every handle's
+// bags) forever.
 package reclaim
 
 import (
@@ -37,8 +46,18 @@ type slot struct {
 type Domain struct {
 	epoch atomic.Uint64
 
-	mu    sync.Mutex
-	slots []*slot
+	mu      sync.Mutex
+	handles []*Handle
+	// orphans holds retirees confiscated from closed or crashed handles,
+	// each stamped with its retirement epoch; they are freed by whichever
+	// handle advances the epoch past their grace period.
+	orphans []orphanBag
+}
+
+// orphanBag is one closed handle's bucket awaiting its grace period.
+type orphanBag struct {
+	epoch  uint64
+	blocks []retired
 }
 
 // NewDomain creates an empty reclamation domain.
@@ -56,20 +75,38 @@ type Handle struct {
 	s     *slot
 	arena *pheap.Arena
 
+	// owner, when non-nil, is the pmem thread whose crash-injection death
+	// permits the orphan rule to adopt this handle (see tryAdvance).
+	owner *pmem.Thread
+
 	bags     [3][]retired
 	bagEpoch [3]uint64
 	sinceAdv int
+
+	closed bool // guarded by d.mu
+
+	// unsafeImmediate bypasses the grace period — mutation-testing tooth
+	// only, never set in real code paths (see SetUnsafeImmediateFree).
+	unsafeImmediate bool
 }
 
 // NewHandle registers a thread with the domain. Freed blocks are returned
 // to arena once safe.
 func (d *Domain) NewHandle(arena *pheap.Arena) *Handle {
-	s := &slot{}
-	s.announce.Store(quiescent)
+	return d.NewHandleOwned(arena, nil)
+}
+
+// NewHandleOwned is NewHandle with the owning pmem thread recorded, which
+// arms the orphan rule: if the owner dies by crash injection while the
+// handle is pinned, epoch advancement adopts the handle instead of
+// stalling on its announcement forever.
+func (d *Domain) NewHandleOwned(arena *pheap.Arena, owner *pmem.Thread) *Handle {
+	h := &Handle{d: d, s: &slot{}, arena: arena, owner: owner}
+	h.s.announce.Store(quiescent)
 	d.mu.Lock()
-	d.slots = append(d.slots, s)
+	d.handles = append(d.handles, h)
 	d.mu.Unlock()
-	return &Handle{d: d, s: s, arena: arena}
+	return h
 }
 
 // Enter pins the current epoch; call at the start of every data structure
@@ -87,6 +124,10 @@ func (h *Handle) Exit() {
 // Retire schedules the n-word block at p for reuse once no concurrent
 // operation can still reference it.
 func (h *Handle) Retire(p pmem.Addr, n int) {
+	if h.unsafeImmediate {
+		h.arena.Free(p, n)
+		return
+	}
 	e := h.d.epoch.Load()
 	idx := e % 3
 	if h.bagEpoch[idx] != e {
@@ -110,22 +151,116 @@ func (h *Handle) drain(idx uint64) {
 	h.bags[idx] = h.bags[idx][:0]
 }
 
-// tryAdvance bumps the global epoch if every non-quiescent thread has
-// caught up to it, then frees this handle's now-safe bucket.
-func (h *Handle) tryAdvance() {
+// Close deregisters the handle: its announcement no longer participates
+// in epoch advancement and retirees still inside their grace period move
+// to the domain's orphan list for a surviving handle to free later.
+// Already-safe orphans are returned to this handle's arena on the way
+// out. Close is idempotent; the handle must not be used afterwards.
+//
+// Close also attempts up to two epoch advances. Retire only advances the
+// epoch every advancePeriod retirements, so a domain whose sessions each
+// retire fewer blocks than that would otherwise never advance at all —
+// every short-lived session would park its grace bags on the orphan list
+// forever, and a connection churn would grow the heap without bound on
+// exactly the low-traffic shards. Closing is a natural quiescent point:
+// if no surviving handle is pinned behind the epoch, two advances age
+// this handle's own bags past their grace period so they free here and
+// now rather than waiting for retire volume that may never come.
+func (h *Handle) Close() {
 	d := h.d
-	e := d.epoch.Load()
 	d.mu.Lock()
-	slots := d.slots
+	h.closeLocked()
+	for i := 0; i < 2 && d.advanceLocked(); i++ {
+	}
+	d.scavengeLocked(h.arena)
 	d.mu.Unlock()
-	for _, s := range slots {
-		a := s.announce.Load()
-		if a != quiescent && a != e {
-			return // a straggler pins epoch e-1 or e
+}
+
+// closeLocked does the deregistration under d.mu: void the announcement,
+// unlink from the handle list, and orphan the non-empty bags.
+func (h *Handle) closeLocked() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.s.announce.Store(quiescent)
+	d := h.d
+	for i, o := range d.handles {
+		if o == h {
+			d.handles = append(d.handles[:i], d.handles[i+1:]...)
+			break
 		}
 	}
-	if d.epoch.CompareAndSwap(e, e+1) {
-		ne := e + 1
+	for i := range h.bags {
+		if len(h.bags[i]) == 0 {
+			continue
+		}
+		d.orphans = append(d.orphans, orphanBag{
+			epoch:  h.bagEpoch[i],
+			blocks: h.bags[i],
+		})
+		h.bags[i] = nil
+	}
+}
+
+// scavengeLocked frees every orphan bag whose grace period has elapsed
+// (global epoch ≥ retirement epoch + 2) into ar.
+func (d *Domain) scavengeLocked(ar *pheap.Arena) {
+	if len(d.orphans) == 0 {
+		return
+	}
+	e := d.epoch.Load()
+	kept := d.orphans[:0]
+	for _, o := range d.orphans {
+		if e >= o.epoch+2 {
+			for _, r := range o.blocks {
+				ar.Free(r.p, r.n)
+			}
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	d.orphans = kept
+}
+
+// advanceLocked bumps the global epoch if every registered handle is
+// quiescent or has caught up to it. A handle pinned behind the epoch
+// whose owning pmem thread died by crash injection is adopted here — its
+// goroutine has unwound, so its announcement is void and its bags are
+// confiscated as orphans — which is what keeps one crashed session from
+// pinning the epoch (and every other handle's bags) forever. Caller
+// holds d.mu.
+func (d *Domain) advanceLocked() bool {
+	e := d.epoch.Load()
+	for i := 0; i < len(d.handles); i++ {
+		o := d.handles[i]
+		a := o.s.announce.Load()
+		if a == quiescent || a == e {
+			continue
+		}
+		if o.owner != nil && o.owner.Crashed() {
+			o.closeLocked() // removes d.handles[i]
+			i--
+			continue
+		}
+		return false // a live straggler pins epoch e-1 or e
+	}
+	return d.epoch.CompareAndSwap(e, e+1)
+}
+
+// tryAdvance bumps the global epoch if every non-quiescent handle has
+// caught up to it, then frees this handle's now-safe bucket and any
+// orphan bags past their grace period.
+func (h *Handle) tryAdvance() {
+	d := h.d
+	d.mu.Lock()
+	advanced := d.advanceLocked()
+	if advanced {
+		d.scavengeLocked(h.arena)
+	}
+	d.mu.Unlock()
+	if advanced {
+		ne := d.epoch.Load()
 		idx := ne % 3
 		if h.bagEpoch[idx] != ne && len(h.bags[idx]) > 0 {
 			h.drain(idx)
@@ -142,5 +277,35 @@ func (h *Handle) Flush() {
 	}
 }
 
+// SetUnsafeImmediateFree makes Retire free blocks immediately, with no
+// grace period — deliberately UNSAFE. It exists only as the mutation
+// tooth for the ABA battery: with it enabled, a concurrent reader must
+// observe a poisoned/recycled node, proving the battery detects exactly
+// the bug reclamation prevents. Never enable it outside that test.
+func (h *Handle) SetUnsafeImmediateFree(on bool) { h.unsafeImmediate = on }
+
+// Domain returns the domain this handle is attached to (diagnostics).
+func (h *Handle) Domain() *Domain { return h.d }
+
 // Epoch returns the domain's current global epoch (diagnostics).
 func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// NumHandles returns the number of registered (unclosed) handles
+// (diagnostics: leak tests watch it stay bounded under session churn).
+func (d *Domain) NumHandles() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.handles)
+}
+
+// OrphanBlocks returns the number of retired blocks currently parked on
+// the orphan list (diagnostics).
+func (d *Domain) OrphanBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, o := range d.orphans {
+		n += len(o.blocks)
+	}
+	return n
+}

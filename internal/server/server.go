@@ -213,11 +213,11 @@ type Server struct {
 	open      map[net.Conn]struct{}
 	closed    bool
 
-	// idle pools batchers for reuse across connections: a pmem thread,
-	// its arena and its reclamation slots cannot be unregistered, so
-	// per-connection sessions would grow the registries with every
-	// connection ever accepted. Pooling bounds them at the peak
-	// concurrent connection count instead.
+	// idle pools batchers for reuse across connections. Sessions release
+	// their pmem thread, arena and reclamation slots on Close, so pooling
+	// is a throughput optimization (no per-connection session setup), not
+	// a leak-prevention necessity; the pool is drained — every batcher
+	// closed — when the server closes.
 	idleMu sync.Mutex
 	idle   []*Batcher
 }
@@ -356,7 +356,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops all listeners and closes every open connection.
+// Close stops all listeners, closes every open connection, and drains
+// the batcher pool — every idle session's thread, arena and reclamation
+// slots return to the store's registries.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -367,6 +369,13 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.idleMu.Lock()
+	idle := s.idle
+	s.idle = nil
+	s.idleMu.Unlock()
+	for _, b := range idle {
+		b.Close()
+	}
 	return nil
 }
 
@@ -512,13 +521,15 @@ func (s *Server) ServeConn(c net.Conn) {
 	// Panic isolation: one connection's failure (a store bug, an
 	// injected crash) must not take the process down or poison the
 	// batcher pool. The batcher returns to the pool only if its session
-	// still commits cleanly; otherwise it is dropped (its pmem thread
-	// registration leaks, bounded by the number of panics ever caught).
+	// still commits cleanly; a poisoned one is closed instead, returning
+	// its thread, arena and reclamation slots to the store's registries.
 	defer func() {
 		if r := recover(); r != nil {
 			s.connError(c, causePanic, fmt.Errorf("handler panic: %v", r))
 			if commitQuietly(b) {
 				s.putBatcher(b)
+			} else {
+				b.Close()
 			}
 			return
 		}
@@ -725,6 +736,16 @@ func (s *Server) getBatcher() *Batcher {
 }
 
 func (s *Server) putBatcher(b *Batcher) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// The pool was already drained; close rather than re-pool. (A
+		// batcher racing past this check into a drained pool is merely
+		// parked until process exit, not a growing leak.)
+		b.Close()
+		return
+	}
 	s.idleMu.Lock()
 	s.idle = append(s.idle, b)
 	s.idleMu.Unlock()
@@ -734,6 +755,11 @@ func (s *Server) putBatcher(b *Batcher) {
 // stats).
 func (b *Batcher) Session() *store.Sess[[]byte] { return b.bs }
 
+// Close releases the batcher's session (thread, arena, reclamation
+// slots). Called when the batcher leaves service — a poisoned session
+// after a handler panic, or pool drain at server close. Idempotent.
+func (b *Batcher) Close() { b.bs.Close() }
+
 // Exec executes one pipeline batch: requests are grouped per shard in
 // stable order (same-key requests keep their pipeline order — one key
 // always maps to one shard), executed with persistence deferred, and
@@ -742,6 +768,15 @@ func (b *Batcher) Session() *store.Sess[[]byte] { return b.bs }
 func (b *Batcher) Exec(reqs []Request, resps []Response) {
 	st := b.srv.st
 	m := b.srv.metrics
+	// Capture the shard count once per batch: an online split can swap
+	// the store layout mid-loop, and same-key requests must group under
+	// ONE index to keep their pipeline order. The grouping is a locality
+	// heuristic — the session routes each key correctly regardless — so a
+	// count one split stale is harmless; it just groups by the old map.
+	nsh := uint64(st.NumShards())
+	if int(nsh) > len(b.bySh) {
+		b.bySh = append(b.bySh, make([][]int, int(nsh)-len(b.bySh))...)
+	}
 	for i := range b.bySh {
 		b.bySh[i] = b.bySh[i][:0]
 	}
@@ -749,7 +784,7 @@ func (b *Batcher) Exec(reqs []Request, resps []Response) {
 	var kindN [numOpKinds]uint64
 	for i := range reqs {
 		if hasKey(reqs[i].Op) {
-			sh := st.ShardOf(reqs[i].Key)
+			sh := store.HashKeyBytes(reqs[i].Key) % nsh
 			b.bySh[sh] = append(b.bySh[sh], i)
 			kindN[opKind(reqs[i].Op)]++
 			storeOps++

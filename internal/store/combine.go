@@ -101,30 +101,47 @@ type combiner struct {
 
 // initCombiners lazily builds one combiner per shard, first use of a
 // Combined session. Each combiner owns its execution resources outright;
-// they are exercised only under its lock.
+// they are exercised only under its lock. The build runs under growMu and
+// waits out any in-flight shard split first: combiners capture the shard
+// list, so combining and splitting are mutually exclusive phases (Split
+// refuses while combiners exist; this waits while a split migrates).
 func (s *Store) initCombiners() {
-	s.combineOnce.Do(func() {
-		cs := make([]*combiner, len(s.shards))
-		for i, sh := range s.shards {
-			t := s.mem.RegisterThread()
-			ar := s.heap.NewArena()
-			d := core.NewDeferred(s.policy)
-			c := &combiner{
-				st:         s,
-				shard:      i,
-				window:     s.opts.CombineWindow,
-				noCoalesce: s.opts.CombineNoCoalesce,
-				t:          t,
-				d:          d,
-				ht:         sh.Open(dstruct.ThreadOpts{T: t, Arena: ar, Policy: d}),
-				pending:    make(map[uint64]uint64),
-			}
-			empty := make([]*cslot, 0)
-			c.slots.Store(&empty)
-			cs[i] = c
+	for {
+		s.growMu.Lock()
+		if s.combCrashed.Load() {
+			s.growMu.Unlock()
+			panic(pmem.ErrCrashed)
 		}
-		s.combiners = cs
-	})
+		lay := s.lay.Load()
+		if lay.mig == nil {
+			if s.combiners == nil {
+				cs := make([]*combiner, len(lay.tables))
+				for i, sh := range lay.tables {
+					t := s.mem.RegisterThread()
+					ar := s.heap.NewArena()
+					d := core.NewDeferred(s.policy)
+					c := &combiner{
+						st:         s,
+						shard:      i,
+						window:     s.opts.CombineWindow,
+						noCoalesce: s.opts.CombineNoCoalesce,
+						t:          t,
+						d:          d,
+						ht:         sh.Open(dstruct.ThreadOpts{T: t, Arena: ar, Policy: d}),
+						pending:    make(map[uint64]uint64),
+					}
+					empty := make([]*cslot, 0)
+					c.slots.Store(&empty)
+					cs[i] = c
+				}
+				s.combiners = cs
+			}
+			s.growMu.Unlock()
+			return
+		}
+		s.growMu.Unlock()
+		s.WaitSplit()
+	}
 }
 
 // CombinerThreads returns the per-shard combiner execution threads, in
@@ -155,6 +172,22 @@ func (c *combiner) register() *cslot {
 	return sl
 }
 
+// deregister withdraws a closed session's slot, copy-on-write like
+// register, so the slot registry does not grow without bound under
+// session churn. The slot must be idle (no announced, unserved ops).
+func (c *combiner) deregister(sl *cslot) {
+	c.regMu.Lock()
+	old := *c.slots.Load()
+	next := make([]*cslot, 0, len(old))
+	for _, s := range old {
+		if s != sl {
+			next = append(next, s)
+		}
+	}
+	c.slots.Store(&next)
+	c.regMu.Unlock()
+}
+
 // applyCombined groups the hashed op vector by shard, announces each
 // group to its shard's combiner, waits for every window to commit, and
 // gathers results back into res in vector order.
@@ -167,7 +200,10 @@ func (c *sessionCore) applyCombined(ops []hashedOp, res []Result) {
 	}
 	c.touched = c.touched[:0]
 	for i := range ops {
-		sh := st.shardOf(ops[i].h)
+		// Shard by combiner count, not the live layout: combining and
+		// splitting are mutually exclusive, so the combiner list IS the
+		// shard list for the lifetime of every combined session.
+		sh := int(ops[i].h % uint64(len(st.combiners)))
 		sl := c.slots[sh]
 		if len(c.idxs[sh]) == 0 {
 			sl.ops = sl.ops[:0]

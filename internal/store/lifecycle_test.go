@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"flit/internal/pmem"
+)
+
+// churnRound deletes and re-inserts every key in [0,n) through sess.
+func churnRound(sess *Sess[string], n int) {
+	for k := 0; k < n; k++ {
+		key := fmt.Sprintf("churn-%d", k)
+		sess.Delete(key)
+		sess.Put(key, uint64(k))
+	}
+}
+
+// TestChurnWatermarkBounded is the unbounded-growth regression test from
+// the live-traffic leak: a steady delete/insert churn over a fixed live
+// set, interleaved with session open/close cycles, must hold the pheap
+// watermark steady — retired nodes are recycled through the reclamation
+// domain instead of stranding, so the high-water mark stays within 2× of
+// its post-warmup value no matter how many rounds run.
+func TestChurnWatermarkBounded(t *testing.T) {
+	st := newTestStore(t, Options{})
+	const live = 256
+
+	warm := Open[string](st, Direct)
+	for k := 0; k < live; k++ {
+		warm.Put(fmt.Sprintf("churn-%d", k), uint64(k))
+	}
+	churnRound(warm, live) // one full round so steady-state structures exist
+	warm.Close()
+	w0 := st.Heap().Watermark()
+	t0 := len(st.Mem().Threads())
+
+	for round := 0; round < 50; round++ {
+		sess := Open[string](st, Direct)
+		churnRound(sess, live)
+		sess.Close()
+	}
+
+	if w := st.Heap().Watermark(); w > 2*w0 {
+		t.Fatalf("pheap watermark grew unbounded under churn: %d words after 50 rounds, warmup %d (bound 2×)", w, w0)
+	}
+	if n := len(st.Mem().Threads()); n > t0 {
+		t.Fatalf("thread registry grew under session churn: %d live threads, baseline %d", n, t0)
+	}
+	if got := len(st.Snapshot()); got != live {
+		t.Fatalf("churn lost keys: %d live, want %d", got, live)
+	}
+}
+
+// TestBatchedSessionCloseReleases: Batched sessions flush and release
+// their thread and handles on Close, same as Direct.
+func TestBatchedSessionCloseReleases(t *testing.T) {
+	st := newTestStore(t, Options{})
+	t0 := len(st.Mem().Threads())
+	for i := 0; i < 32; i++ {
+		sess := Open[string](st, Batched)
+		sess.Put("a", uint64(i))
+		sess.Put("b", uint64(i))
+		sess.Close() // must flush the pending batch durably
+	}
+	if n := len(st.Mem().Threads()); n > t0 {
+		t.Fatalf("Batched session churn leaked threads: %d live, baseline %d", n, t0)
+	}
+	if v, ok := Open[string](st, Direct).Get("a"); !ok || v != 31 {
+		t.Fatalf("close-time flush lost the final batch: got (%d,%v), want (31,true)", v, ok)
+	}
+}
+
+// TestSessionCloseIdempotent: double Close must be a no-op, not a
+// double-release of the thread slot or handles.
+func TestSessionCloseIdempotent(t *testing.T) {
+	st := newTestStore(t, Options{})
+	sess := Open[string](st, Direct)
+	sess.Put("x", 1)
+	sess.Close()
+	sess.Close()
+	other := Open[string](st, Direct)
+	defer other.Close()
+	if !other.Contains("x") {
+		t.Fatal("store corrupted by double Close")
+	}
+}
+
+// TestCrashedSessionDoesNotWedgeReclamation: a session that dies by
+// crash injection mid-operation — never calling Close — must not pin the
+// reclamation epoch. If it did, every block retired afterwards would
+// strand and the watermark would climb with churn; the orphan rule
+// (crashed owners are adopted during epoch advancement) keeps it flat.
+func TestCrashedSessionDoesNotWedgeReclamation(t *testing.T) {
+	st := newTestStore(t, Options{})
+	const live = 256
+
+	warm := Open[string](st, Direct)
+	for k := 0; k < live; k++ {
+		warm.Put(fmt.Sprintf("churn-%d", k), uint64(k))
+	}
+	churnRound(warm, live)
+	warm.Close()
+	w0 := st.Heap().Watermark()
+
+	// Kill a session mid-operation: its epoch announcement stays pinned
+	// and its goroutine unwinds without Exit or Close.
+	victim := Open[string](st, Direct)
+	victim.Put("victim-warm", 1) // ensure its handle has entered an epoch
+	victim.Thread().SetCrashAfter(3)
+	if !pmem.RunToCrash(func() { victim.Put("victim-crash", 2) }) {
+		t.Fatal("armed crash did not fire during the victim's operation")
+	}
+
+	for round := 0; round < 50; round++ {
+		sess := Open[string](st, Direct)
+		churnRound(sess, live)
+		sess.Close()
+	}
+
+	if w := st.Heap().Watermark(); w > 2*w0 {
+		t.Fatalf("crashed session wedged reclamation: watermark %d words after churn, warmup %d (bound 2×)", w, w0)
+	}
+}

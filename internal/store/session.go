@@ -119,12 +119,18 @@ type sessionCore struct {
 	mode SessionMode
 
 	// Direct/Batched execution state: one pmem thread, one arena, one
-	// handle per shard (nil in Combined mode — combined sessions own no
-	// execution resources, the per-shard combiners do).
-	t      *pmem.Thread
-	ar     *pheap.Arena
-	d      *core.Deferred // Batched only
-	shards []*hashtable.Thread
+	// handle per shard table (nil in Combined mode — combined sessions own
+	// no execution resources, the per-shard combiners do). Handles track
+	// the store layout: ths aligns with the serving tables, dths with a
+	// migration's new target tables, and byTab caches one handle per table
+	// so layout swaps reuse handles and close releases every one opened.
+	t     *pmem.Thread
+	ar    *pheap.Arena
+	d     *core.Deferred // Batched only
+	lay   *layout
+	ths   []*hashtable.Thread
+	dths  []*hashtable.Thread
+	byTab map[*hashtable.Table]*hashtable.Thread
 
 	// Combined announcement state: this session's slot at each shard's
 	// combiner, plus scratch reused across Apply calls.
@@ -135,35 +141,100 @@ type sessionCore struct {
 	res1    [1]Result
 
 	pending int
+	closed  bool
 }
 
 func newSessionCore(s *Store, mode SessionMode) *sessionCore {
 	c := &sessionCore{st: s, mode: mode}
-	switch mode {
-	case Combined:
+	if mode == Combined {
 		s.initCombiners()
-		c.slots = make([]*cslot, len(s.shards))
-		c.idxs = make([][]int, len(s.shards))
+		c.slots = make([]*cslot, len(s.combiners))
+		c.idxs = make([][]int, len(s.combiners))
 		for i, cb := range s.combiners {
 			c.slots[i] = cb.register()
 		}
-	case Batched:
-		c.t = s.mem.RegisterThread()
-		c.ar = s.heap.NewArena()
+		return c
+	}
+	c.t = s.mem.RegisterThread()
+	c.ar = s.heap.NewArena()
+	if mode == Batched {
 		c.d = core.NewDeferred(s.policy)
-		c.shards = make([]*hashtable.Thread, len(s.shards))
-		for i, sh := range s.shards {
-			c.shards[i] = sh.Open(dstruct.ThreadOpts{T: c.t, Arena: c.ar, Policy: c.d})
-		}
-	default:
-		c.t = s.mem.RegisterThread()
-		c.ar = s.heap.NewArena()
-		c.shards = make([]*hashtable.Thread, len(s.shards))
-		for i, sh := range s.shards {
-			c.shards[i] = sh.Open(dstruct.ThreadOpts{T: c.t, Arena: c.ar})
+	}
+	c.byTab = make(map[*hashtable.Table]*hashtable.Thread)
+	c.refresh()
+	return c
+}
+
+func (c *sessionCore) topts() dstruct.ThreadOpts {
+	o := dstruct.ThreadOpts{T: c.t, Arena: c.ar}
+	if c.d != nil {
+		o.Policy = c.d
+	}
+	return o
+}
+
+// handleFor returns the session's handle on tbl, opening one on first use.
+func (c *sessionCore) handleFor(tbl *hashtable.Table) *hashtable.Thread {
+	if th, ok := c.byTab[tbl]; ok {
+		return th
+	}
+	th := tbl.Open(c.topts())
+	c.byTab[tbl] = th
+	return th
+}
+
+// refresh re-aligns the handle slices with the store's current layout
+// (cheap pointer compare when nothing changed — the per-op cost of online
+// splitting for every session).
+func (c *sessionCore) refresh() {
+	lay := c.st.lay.Load()
+	if lay == c.lay {
+		return
+	}
+	c.ths = c.ths[:0]
+	for _, tbl := range lay.tables {
+		c.ths = append(c.ths, c.handleFor(tbl))
+	}
+	c.dths = c.dths[:0]
+	if m := lay.mig; m != nil {
+		for _, tbl := range m.dir {
+			c.dths = append(c.dths, c.handleFor(tbl))
 		}
 	}
-	return c
+	c.lay = lay
+}
+
+// close releases everything the session holds: combiner slots in Combined
+// mode; otherwise any still-deferred batch is quietly committed (tolerating
+// a simulated crash), every table handle's reclamation slot is closed, and
+// the arena and pmem thread are returned for reuse. Idempotent.
+func (c *sessionCore) close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.mode == Combined {
+		for i, cb := range c.st.combiners {
+			cb.deregister(c.slots[i])
+		}
+		return
+	}
+	if c.d != nil {
+		// A Batched session's uncommitted results were never exposed, but
+		// its stores already hit the table — commit them rather than leave
+		// flit-tags dangling. The flush of a crashed or poisoned session
+		// may itself panic; the batch was never acknowledged, so dropping
+		// it is a legal crash point, and close still releases everything.
+		func() {
+			defer func() { recover() }()
+			c.d.Flush(c.t)
+		}()
+	}
+	for _, th := range c.byTab {
+		th.Close()
+	}
+	c.ar.Release()
+	c.t.Release()
 }
 
 // do1 routes a single operation through the mode's execution path.
@@ -174,7 +245,17 @@ func (c *sessionCore) do1(kind OpKind, h, val uint64) Result {
 		return c.res1[0]
 	}
 	c.pending++
-	sh := c.shards[c.st.shardOf(h)]
+	c.refresh()
+	lay := c.lay
+	if lay.mig != nil {
+		return c.doMigrating(lay, kind, h, val)
+	}
+	return c.exec(c.ths[int(h%uint64(len(lay.tables)))], kind, h, val)
+}
+
+// exec runs one op on one table handle — the whole story when no split is
+// migrating.
+func (c *sessionCore) exec(sh *hashtable.Thread, kind OpKind, h, val uint64) Result {
 	switch kind {
 	case OpGet:
 		v, ok := sh.Get(h)
@@ -188,6 +269,102 @@ func (c *sessionCore) do1(kind OpKind, h, val uint64) Result {
 	case OpAdd:
 		v, ok := sh.Add(h, val)
 		return Result{Val: v, Ok: ok}
+	default:
+		panic(fmt.Sprintf("store: unknown OpKind %d", kind))
+	}
+}
+
+// targetTh returns the handle for target shard index j under migration m.
+func (c *sessionCore) targetTh(m *migration, j int) *hashtable.Thread {
+	if j < m.oldN {
+		return c.ths[j]
+	}
+	return c.dths[j-m.oldN]
+}
+
+// doMigrating routes one op while a split migrates. Three per-key regimes:
+//
+//   - The key does not change shards (h%oldN == h%newN): single table,
+//     lock-free, exactly the no-split path.
+//   - The key's old shard is fully migrated (below the cursor): the key
+//     lives only in its target table — single table, lock-free.
+//   - Otherwise the key's old shard is pending or in flight: the op takes
+//     the migration read-lock (excluded only while the migrator moves a
+//     batch) and re-reads the cursor. A shard strictly above the cursor is
+//     untouched — old table only, which keeps every copy of the key in one
+//     place. The shard AT the cursor is dual-read: reads check the target
+//     first (authoritative), writes go to the target only, deletes clear
+//     old-then-new so no crash boundary resurrects a stale copy.
+func (c *sessionCore) doMigrating(lay *layout, kind OpKind, h, val uint64) Result {
+	m := lay.mig
+	oldIdx := int(h % uint64(m.oldN))
+	newIdx := int(h % uint64(m.newN))
+	if newIdx == oldIdx {
+		return c.exec(c.ths[oldIdx], kind, h, val)
+	}
+	if int64(oldIdx) < m.cursor.Load() {
+		return c.exec(c.targetTh(m, newIdx), kind, h, val)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	cur := m.cursor.Load()
+	switch {
+	case int64(oldIdx) < cur:
+		return c.exec(c.targetTh(m, newIdx), kind, h, val)
+	case int64(oldIdx) > cur:
+		return c.exec(c.ths[oldIdx], kind, h, val)
+	}
+	return c.doDual(c.ths[oldIdx], c.targetTh(m, newIdx), kind, h, val)
+}
+
+// doDual is the in-flight-shard path: the key may exist in its old table,
+// its target table, or (mid-move) both with the target copy authoritative.
+func (c *sessionCore) doDual(old, tgt *hashtable.Thread, kind OpKind, h, val uint64) Result {
+	switch kind {
+	case OpGet:
+		if v, ok := tgt.Get(h); ok {
+			return Result{Val: v, Ok: true}
+		}
+		v, ok := old.Get(h)
+		return Result{Val: v, Ok: ok}
+	case OpContains:
+		return Result{Ok: tgt.Contains(h) || old.Contains(h)}
+	case OpPut:
+		// Upsert the target only: the stale old copy is shadowed by the
+		// read path and cleaned by the migrator (insert-if-absent there
+		// never overwrites this value). "Newly inserted" means absent from
+		// both tables.
+		ins := tgt.Put(h, val&ValueMask)
+		if ins && old.Contains(h) {
+			ins = false
+		}
+		return Result{Ok: ins}
+	case OpDelete:
+		// Old first: a crash between the two deletes must not leave a
+		// stale old copy that recovery would resurrect after the target
+		// copy is gone.
+		a := old.Delete(h)
+		b := tgt.Delete(h)
+		return Result{Ok: a || b}
+	case OpAdd:
+		for {
+			if _, ok := tgt.Get(h); ok {
+				v, _ := tgt.Add(h, val)
+				return Result{Val: v, Ok: true}
+			}
+			if v, ok := old.Get(h); ok {
+				// Seed the target with the summed value; losing the insert
+				// race means another session seeded it first — fold the
+				// delta in on the next pass.
+				nv := (v + val) & ValueMask
+				if tgt.Insert(h, nv) {
+					return Result{Val: nv, Ok: true}
+				}
+				continue
+			}
+			v, ok := tgt.Add(h, val)
+			return Result{Val: v, Ok: ok}
+		}
 	default:
 		panic(fmt.Sprintf("store: unknown OpKind %d", kind))
 	}
@@ -259,6 +436,18 @@ func (s *Sess[K]) Pending() int { return s.c.pending }
 // drained. Only after Commit may a Batched session's results be exposed.
 // In Direct and Combined modes Commit is a no-op returning 0.
 func (s *Sess[K]) Commit() int { return s.c.commit() }
+
+// Close releases the session's execution resources — epoch-reclamation
+// slots, the heap arena (surrendering its free lists for reuse), and the
+// pmem thread (its ID and stats fold back into the memory's totals); a
+// Combined session instead withdraws its combiner slots. A Batched
+// session's still-deferred batch is committed first. Sessions MUST be
+// closed when abandoned: an open session pins the reclamation epoch and a
+// thread slot, which is unbounded memory growth under connection churn.
+// Close is idempotent and safe after a simulated crash (the pending batch
+// is then lost, exactly as power loss would lose it). The session must
+// not be used after Close.
+func (s *Sess[K]) Close() { s.c.close() }
 
 // Get returns the value stored under key, if present.
 func (s *Sess[K]) Get(key K) (uint64, bool) {

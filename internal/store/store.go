@@ -37,15 +37,27 @@ const (
 	// superRoot is the root slot holding the superblock pointer; shard i
 	// lives at root slot 1+i.
 	superRoot = 0
-	// Superblock field indices.
-	fMagic      = 0
-	fShards     = 1
-	fBuckets    = 2
-	superFields = 3
-	// Magic identifies a FliT-Store superblock. It fits the 48-bit key
-	// window so every policy can persist it untouched.
+	// Superblock field indices. fMagic..fBuckets are the v1 layout;
+	// fBase..fDirPtr extend it for online shard growth (v2, Magic2):
+	// fShards is the serving shard count, fBase the count anchored in the
+	// heap root region (fixed at New — root regions cannot grow), and a
+	// split in progress is recorded as fNewShards > fShards with fDirPtr
+	// pointing at the shard directory, whose slot j anchors grown shard
+	// base+j the way a root slot anchors shard i < base.
+	fMagic       = 0
+	fShards      = 1
+	fBuckets     = 2
+	fBase        = 3
+	fNewShards   = 4
+	fDirPtr      = 5
+	superFields  = 3
+	superFields2 = 6
+	// Magic identifies a v1 FliT-Store superblock (fixed shard count). It
+	// fits the 48-bit key window so every policy can persist it untouched.
 	Magic = uint64(0xF117_5708_E001)
-	// MaxShards bounds the shard count (one root slot each).
+	// Magic2 identifies a v2 superblock (online shard growth).
+	Magic2 = uint64(0xF117_5708_E002)
+	// MaxShards bounds the shard count.
 	MaxShards = 1024
 )
 
@@ -137,7 +149,23 @@ type Store struct {
 	heap   *pheap.Heap
 	policy core.Policy
 	stride int
-	shards []*hashtable.Table
+
+	// lay is the serving layout: the shard tables plus, while an online
+	// split migrates, the migration descriptor (see split.go). Sessions
+	// load it per operation; it is replaced atomically when a split
+	// starts or completes.
+	lay atomic.Pointer[layout]
+
+	// baseShards is the shard count anchored in the heap root region,
+	// fixed at New; shards grown later anchor in the persisted directory.
+	baseShards int
+	// sbAddr is the superblock's base address, for in-place field updates
+	// (the split activation and completion words).
+	sbAddr pmem.Addr
+	// growMu serializes Split against combiner initialization: the flat
+	// combiners capture the shard list at build time, so a store that
+	// combines cannot grow and a store mid-split cannot start combining.
+	growMu sync.Mutex
 
 	// recovered holds the RecoveryStats of the rebuild that produced this
 	// store, when it came from Recover rather than New — the observability
@@ -145,10 +173,11 @@ type Store struct {
 	recovered *RecoveryStats
 
 	// Flat-combining state (see combine.go), built lazily by the first
-	// Combined session. combCrashed is the whole-process crash flag: a
-	// combiner whose crash countdown fires mid-window sets it, and every
-	// session touching the store thereafter dies with pmem.ErrCrashed.
-	combineOnce sync.Once
+	// Combined session, under growMu (combiners capture the shard list, so
+	// they wait out any in-flight split and block later ones). combCrashed
+	// is the whole-process crash flag: a combiner or migrator whose crash
+	// countdown fires sets it, and every session touching the store
+	// thereafter dies with pmem.ErrCrashed.
 	combiners   []*combiner
 	combCrashed atomic.Bool
 }
@@ -178,17 +207,19 @@ func New(opts Options) (*Store, error) {
 		return nil, err
 	}
 	st := &Store{
-		opts:   o,
-		mem:    mem,
-		heap:   pheap.NewWithRoots(mem, o.Shards+1),
-		policy: pol,
-		stride: stride,
-		shards: make([]*hashtable.Table, o.Shards),
+		opts:       o,
+		mem:        mem,
+		heap:       pheap.NewWithRoots(mem, o.Shards+1),
+		policy:     pol,
+		stride:     stride,
+		baseShards: o.Shards,
 	}
 	st.writeSuperblock()
-	for i := range st.shards {
-		st.shards[i] = hashtable.New(st.cfgFor(1+i), o.Buckets)
+	tables := make([]*hashtable.Table, o.Shards)
+	for i := range tables {
+		tables[i] = hashtable.New(st.cfgFor(1+i), o.Buckets)
 	}
+	st.lay.Store(&layout{tables: tables})
 	return st, nil
 }
 
@@ -202,11 +233,14 @@ func (s *Store) writeSuperblock() {
 	cfg := s.cfgFor(superRoot)
 	t := s.mem.RegisterThread()
 	ar := s.heap.NewArena()
-	sb := ar.Alloc(cfg.Words(superFields))
+	sb := ar.Alloc(cfg.Words(superFields2))
 	for f, v := range map[int]uint64{
-		fMagic:   Magic,
-		fShards:  uint64(s.opts.Shards),
-		fBuckets: uint64(s.opts.Buckets),
+		fMagic:     Magic2,
+		fShards:    uint64(s.opts.Shards),
+		fBuckets:   uint64(s.opts.Buckets),
+		fBase:      uint64(s.opts.Shards),
+		fNewShards: uint64(s.opts.Shards),
+		fDirPtr:    0,
 	} {
 		a := cfg.Field(sb, f)
 		t.Store(a, v)
@@ -218,12 +252,40 @@ func (s *Store) writeSuperblock() {
 	t.Store(root, uint64(sb))
 	t.PWB(root)
 	t.PFence()
+	s.sbAddr = sb
+	ar.Release()
+	t.Release()
+}
+
+// sbField returns the address of superblock field f.
+func (s *Store) sbField(f int) pmem.Addr {
+	return s.sbAddr + pmem.Addr(f*s.stride)
+}
+
+// sbWrite updates one superblock field in place with a raw fenced store —
+// format metadata, like writeSuperblock (it must survive even under the
+// no-persist baseline policy).
+func (s *Store) sbWrite(t *pmem.Thread, f int, v uint64) {
+	a := s.sbField(f)
+	t.Store(a, v)
+	t.PWB(a)
+	t.PFence()
 }
 
 func (s *Store) cfgFor(rootSlot int) dstruct.Config {
 	return dstruct.Config{
 		Heap: s.heap, Policy: s.policy, Mode: s.opts.Mode,
 		RootSlot: rootSlot, Stride: s.stride,
+	}
+}
+
+// cfgAt is cfgFor with an explicit anchor address instead of a root slot
+// — how shards grown past the root region are addressed (their anchor
+// word lives in the persisted shard directory).
+func (s *Store) cfgAt(addr pmem.Addr) dstruct.Config {
+	return dstruct.Config{
+		Heap: s.heap, Policy: s.policy, Mode: s.opts.Mode,
+		RootAddr: addr, Stride: s.stride,
 	}
 }
 
@@ -240,8 +302,9 @@ func (s *Store) Heap() *pheap.Heap { return s.heap }
 // Policy returns the persistence policy instance.
 func (s *Store) Policy() core.Policy { return s.policy }
 
-// NumShards returns the shard count.
-func (s *Store) NumShards() int { return len(s.shards) }
+// NumShards returns the serving shard count (the pre-split count while a
+// migration is in flight; it jumps to the target count on completion).
+func (s *Store) NumShards() int { return len(s.lay.Load().tables) }
 
 // LastRecovery returns the stats of the shard-parallel rebuild that
 // produced this store, or nil when the store was built fresh by New.
@@ -271,7 +334,7 @@ func hashKey[K Key](key K) uint64 {
 	return h & KeyMask
 }
 
-func (s *Store) shardOf(h uint64) int { return int(h % uint64(len(s.shards))) }
+func (s *Store) shardOf(h uint64) int { return int(h % uint64(len(s.lay.Load().tables))) }
 
 // Session is the legacy per-goroutine direct-mode handle: string and
 // byte-slice method pairs over one execution context.
@@ -291,6 +354,9 @@ func (s *Store) NewSession() *Session {
 
 // Thread exposes the session's pmem thread (stats, crash injection).
 func (s *Session) Thread() *pmem.Thread { return s.c.t }
+
+// Close releases the session's resources (see Sess.Close). Idempotent.
+func (s *Session) Close() { s.c.close() }
 
 // Get returns the value stored under key, if present.
 func (s *Session) Get(key string) (uint64, bool) {
@@ -353,10 +419,21 @@ func (s *Session) ContainsBytes(key []byte) bool {
 // happens-before the Snapshot call (e.g. via WaitGroup join), as the
 // crash harnesses do.
 func (s *Store) Snapshot() map[uint64]uint64 {
+	lay := s.lay.Load()
 	out := make(map[uint64]uint64)
-	for _, sh := range s.shards {
+	for _, sh := range lay.tables {
 		for k, v := range sh.Snapshot() {
 			out[k] = v
+		}
+	}
+	if m := lay.mig; m != nil {
+		// Mid-split, a key being moved can exist in both its old shard
+		// and its target: the target copy is authoritative (session Puts
+		// upsert there, shadowing the stale old copy), so overlay it last.
+		for _, sh := range m.dir {
+			for k, v := range sh.Snapshot() {
+				out[k] = v
+			}
 		}
 	}
 	return out
@@ -379,6 +456,18 @@ type RecoveryStats struct {
 // sizing hints — and must match the pre-crash configuration, as with any
 // persistent layout. All shards recover in parallel, each on its own
 // goroutine with its own pmem thread and arena.
+//
+// A crash mid-split (superblock fNewShards > fShards) recovers to the
+// POST-split layout: every table — old shards and split targets alike —
+// is gathered first (global barrier), then rebuilt in place with the keys
+// the target shard count assigns it, preferring a target table's copy of
+// a key over a stale old-shard copy (session Puts during migration upsert
+// the target only, and the deletion order old-then-new means a key caught
+// mid-delete survives nowhere it shouldn't). The rule is applied
+// uniformly to every shard, so it needs no migration cursor and is
+// idempotent: a crash during this recovery re-runs it from the same
+// still-active superblock, and only the final single-word fShards flip —
+// after every rebuild has fenced — marks the split complete.
 func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, RecoveryStats, error) {
 	o := opts.withDefaults()
 	var rs RecoveryStats
@@ -392,7 +481,11 @@ func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, Recovery
 	probeHeap := pheap.RecoverWithRoots(mem, watermark, 1)
 	probeCfg := dstruct.Config{Heap: probeHeap, Policy: probe, Mode: o.Mode, RootSlot: superRoot, Stride: stride}
 	sb := dstruct.Ptr(mem.VolatileWord(probeCfg.Root()))
-	if sb == pmem.NilAddr || mem.VolatileWord(probeCfg.Field(sb, fMagic)) != Magic {
+	if sb == pmem.NilAddr {
+		return nil, rs, fmt.Errorf("store: no superblock in recovered memory (root slot %d = %d)", superRoot, sb)
+	}
+	magic := mem.VolatileWord(probeCfg.Field(sb, fMagic))
+	if magic != Magic && magic != Magic2 {
 		return nil, rs, fmt.Errorf("store: no superblock in recovered memory (root slot %d = %d)", superRoot, sb)
 	}
 	shards := int(mem.VolatileWord(probeCfg.Field(sb, fShards)))
@@ -400,18 +493,43 @@ func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, Recovery
 	if shards < 1 || shards > MaxShards {
 		return nil, rs, fmt.Errorf("store: superblock shard count %d outside [1,%d]", shards, MaxShards)
 	}
-	o.Shards, o.Buckets = shards, buckets
+	// v1 superblocks predate shard growth: base == serving == target.
+	base, newShards := shards, shards
+	var dir pmem.Addr
+	if magic == Magic2 {
+		base = int(mem.VolatileWord(probeCfg.Field(sb, fBase)))
+		newShards = int(mem.VolatileWord(probeCfg.Field(sb, fNewShards)))
+		dir = pmem.Addr(mem.VolatileWord(probeCfg.Field(sb, fDirPtr)))
+		if base < 1 || base > shards || newShards < shards || newShards > MaxShards {
+			return nil, rs, fmt.Errorf("store: superblock shard geometry base=%d serving=%d target=%d invalid", base, shards, newShards)
+		}
+		if newShards > base && dir == pmem.NilAddr {
+			return nil, rs, fmt.Errorf("store: superblock has grown shards but no directory pointer")
+		}
+	}
+	o.Shards, o.Buckets = newShards, buckets
 
 	st := &Store{
-		opts:   o,
-		mem:    mem,
-		heap:   pheap.RecoverWithRoots(mem, watermark, shards+1),
-		policy: probe,
-		stride: stride,
-		shards: make([]*hashtable.Table, shards),
+		opts:       o,
+		mem:        mem,
+		heap:       pheap.RecoverWithRoots(mem, watermark, base+1),
+		policy:     probe,
+		stride:     stride,
+		baseShards: base,
+		sbAddr:     sb,
 	}
-	rs.Shards = make([]time.Duration, shards)
-	keys := make([]int, shards)
+	// cfgShard addresses shard i's anchor: a root slot below base, a
+	// directory slot at or above it.
+	cfgShard := func(i int) dstruct.Config {
+		if i < base {
+			return st.cfgFor(1 + i)
+		}
+		return st.cfgAt(dirSlotAddr(dir, i-base, stride))
+	}
+
+	rs.Shards = make([]time.Duration, newShards)
+	keys := make([]int, newShards)
+	tables := make([]*hashtable.Table, newShards)
 	start := time.Now()
 	// Two-phase, with a global barrier between everyone's gather and
 	// anyone's rebuild: when the carried watermark is stale (the process
@@ -419,29 +537,78 @@ func Recover(mem *pmem.Memory, watermark uint64, opts Options) (*Store, Recovery
 	// watermark forward), a shard's fresh rebuild nodes can land on
 	// addresses still holding another shard's not-yet-gathered chains.
 	// Gathering writes nothing, so once every shard has its pairs in
-	// process memory the rebuilds may clobber those regions freely.
-	recovering := make([]*hashtable.Recovery, shards)
+	// process memory the rebuilds may clobber those regions freely. The
+	// mid-split key redistribution reuses the same barrier: it needs every
+	// table's pairs before any table's final contents are known.
+	recovering := make([]*hashtable.Recovery, newShards)
 	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
+	for i := 0; i < newShards; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			recovering[i] = hashtable.BeginRecover(st.cfgFor(1 + i))
+			recovering[i] = hashtable.BeginRecover(cfgShard(i))
 			rs.Shards[i] = time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
-	for i := 0; i < shards; i++ {
+
+	// finals[i] is what shard i holds after recovery. Idle stores keep
+	// each table's own gather; a crashed split redistributes by the
+	// target shard count, preferring target-table copies.
+	finals := make([]map[uint64]uint64, newShards)
+	if newShards == shards {
+		for i := range finals {
+			finals[i] = recovering[i].Pairs()
+		}
+	} else {
+		// Targets above the old serving count start from their own gather
+		// (everything in them is authoritative); old serving shards start
+		// empty and are refilled below — a non-doubling split can move keys
+		// BETWEEN serving shards (k%oldN ≠ k%newN with both below oldN), so
+		// every serving shard's contents must be recomputed, not kept.
+		for i := shards; i < newShards; i++ {
+			finals[i] = recovering[i].Pairs()
+		}
+		for i := 0; i < shards; i++ {
+			finals[i] = make(map[uint64]uint64)
+		}
+		for i := 0; i < shards; i++ {
+			for k, v := range recovering[i].Pairs() {
+				nj := int(k % uint64(newShards))
+				if nj == i {
+					// This table IS the key's target: its copy is
+					// authoritative, overwriting any stale moved-in copy an
+					// earlier iteration placed here.
+					finals[i][k] = v
+				} else if _, inTarget := finals[nj][k]; !inTarget {
+					// Stale pre-move copy: only lands if the target has not
+					// produced its authoritative copy yet; the target table's
+					// own pass overwrites it if one exists.
+					finals[nj][k] = v
+				}
+			}
+		}
+	}
+
+	for i := 0; i < newShards; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			st.shards[i], keys[i] = recovering[i].Complete()
+			tables[i], keys[i] = recovering[i].CompleteWith(finals[i])
 			rs.Shards[i] += time.Since(t0)
 		}(i)
 	}
 	wg.Wait()
+	if newShards > shards {
+		// Every rebuild has fenced; the single-word serving-count flip is
+		// the split's idempotent commit point.
+		t := mem.RegisterThread()
+		st.sbWrite(t, fShards, uint64(newShards))
+		t.Release()
+	}
+	st.lay.Store(&layout{tables: tables})
 	rs.Elapsed = time.Since(start)
 	for _, k := range keys {
 		rs.Keys += k
