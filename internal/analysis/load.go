@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// LoadErrors holds go list / parse / type-check errors. Analyzers
+	// still run on partially checked packages, but the driver reports
+	// the errors too.
+	LoadErrors []string
+}
+
+// listPkg is the subset of `go list -json` output flitvet consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load loads and type-checks the packages matched by patterns, rooted
+// at dir (the working directory for the `go list` invocation). It
+// shells out to `go list -e -export -deps -json`, which compiles
+// dependencies and reports their export-data files; target packages are
+// then re-parsed from source (with comments, which analyzers need for
+// annotations) and type-checked against that export data. This gives
+// full type information using only the standard library — no
+// golang.org/x/tools dependency.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	// The gc importer reads export data for dependencies; the lookup
+	// function maps import paths to the files `go list -export` wrote.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		pkg := &Package{PkgPath: t.ImportPath, Dir: t.Dir, Fset: fset}
+		if t.Error != nil {
+			pkg.LoadErrors = append(pkg.LoadErrors, t.Error.Err)
+		}
+		if len(t.CgoFiles) > 0 {
+			pkg.LoadErrors = append(pkg.LoadErrors, "cgo packages are not supported by flitvet")
+			out = append(out, pkg)
+			continue
+		}
+		for _, name := range t.GoFiles {
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				pkg.LoadErrors = append(pkg.LoadErrors, err.Error())
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Instances:  map[*ast.Ident]types.Instance{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				pkg.LoadErrors = append(pkg.LoadErrors, err.Error())
+			},
+		}
+		tpkg, _ := conf.Check(t.ImportPath, fset, pkg.Files, info)
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+		out = append(out, pkg)
+	}
+	return out, nil
+}

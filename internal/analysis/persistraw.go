@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PersistRaw flags persistence-bypassing writes to pmem-backed state
+// outside the packages that own the persistence protocol.
+//
+// The FliT discipline routes every durable mutation through a
+// core.Policy skeleton (fence ordering, apply, flush marking). A raw
+// pmem.Thread instruction (Store/CAS/FAA/Exchange) or a bare
+// PWB/PFence/Drain issued from arbitrary code skips the policy's flush
+// obligations — exactly the class of bug PR 4's failed-p-CAS fix
+// repaired after the fact. Likewise, a sync/atomic call whose operands
+// reach into pmem- or pheap-owned state mutates persistent words behind
+// the policy's back.
+//
+// Allowed: packages whose import path ends in internal/pmem or
+// internal/core (they implement the protocol), and functions annotated
+// `//flit:rawpersist <reason>` (manual-persistence regions such as
+// superblock writes and single-threaded recovery rebuilds, which carry
+// their own PWB/PFence discipline).
+var PersistRaw = &Analyzer{
+	Name: "persistraw",
+	Doc: "flags raw pmem.Thread instructions and sync/atomic calls on pmem-backed words " +
+		"outside internal/pmem and internal/core (persistence-bypassing writes that skip " +
+		"the policy fence-apply-flush skeleton); silence with a //flit:rawpersist <reason> " +
+		"function annotation",
+	Run: runPersistRaw,
+}
+
+// rawThreadMethods are the pmem.Thread instructions that mutate or
+// persist pmem state. Load is deliberately absent: raw reads are common
+// in recovery and carry no flush obligation of their own.
+var rawThreadMethods = map[string]bool{
+	"Store":    true,
+	"CAS":      true,
+	"FAA":      true,
+	"Exchange": true,
+	"PWB":      true,
+	"PFence":   true,
+	"Drain":    true,
+}
+
+// persistOwnerPkgs may issue raw pmem instructions freely: pmem and
+// core implement the protocol, and pheap is the persistent allocator,
+// whose block headers carry their own crash-consistency discipline.
+var persistOwnerPkgs = []string{"internal/pmem", "internal/core", "internal/pheap"}
+
+// mutatingAtomicNames are the sync/atomic operations that write.
+// (Loads are deliberately excluded: raw reads carry no flush
+// obligation.) Both the package functions (StoreUint64, AddUint64, ...)
+// and the methods on atomic values (Store, Add, ...) share these
+// prefixes.
+var mutatingAtomicNames = []string{"Store", "Add", "Swap", "CompareAndSwap", "Or", "And"}
+
+func isMutatingAtomicName(name string) bool {
+	for _, p := range mutatingAtomicNames {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pmemStatePkgs own persistent state: sync/atomic operands typed by
+// them indicate a policy-bypassing write.
+var pmemStatePkgs = []string{"internal/pmem", "internal/pheap"}
+
+func runPersistRaw(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	for _, owner := range persistOwnerPkgs {
+		if pathHasSuffix(pass.Pkg.Path(), owner) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Raw pmem.Thread instruction.
+			if recv, name, ok := methodCall(pass.TypesInfo, call); ok &&
+				rawThreadMethods[name] && typeIs(recv, "internal/pmem", "Thread") {
+				if !hasAnnotation(pass.Fset, pass.Files, call.Pos(), "rawpersist") {
+					pass.Reportf(call.Pos(),
+						"raw pmem.Thread.%s bypasses the persistence policy; route through a core.Policy/Deferred, or annotate the function //flit:rawpersist <reason>",
+						name)
+				}
+				return true
+			}
+			// A mutating sync/atomic operation — either a package function
+			// (atomic.StoreUint64) or a method on an atomic value
+			// (atomic.Uint64.Store) — whose operands carry pmem-owned
+			// types. The two shapes are distinguished so each call is
+			// reported exactly once.
+			atomicOp := ""
+			isMethod := false
+			if recv, name, ok := methodCall(pass.TypesInfo, call); ok {
+				if n := namedOf(recv); n != nil && n.Obj().Pkg() != nil &&
+					n.Obj().Pkg().Path() == "sync/atomic" && isMutatingAtomicName(name) {
+					atomicOp = name
+					isMethod = true
+				}
+			} else if fn := calleeFunc(pass.TypesInfo, call); fn != nil &&
+				pkgPathOf(fn) == "sync/atomic" && isMutatingAtomicName(fn.Name()) {
+				atomicOp = fn.Name()
+			}
+			if atomicOp != "" {
+				if arg := pmemTypedOperand(pass.TypesInfo, call, isMethod); arg != "" {
+					if !hasAnnotation(pass.Fset, pass.Files, call.Pos(), "rawpersist") {
+						pass.Reportf(call.Pos(),
+							"atomic %s on %s-typed state bypasses the persistence policy; use the pmem.Thread / core.Policy API, or annotate the function //flit:rawpersist <reason>",
+							atomicOp, arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pmemTypedOperand reports (as a package suffix, "" if none) whether
+// the *destination* of the atomic write is pmem-owned state: the
+// receiver expression for atomic-value methods (h.meta.Store(v)), the
+// pointer argument for package functions (atomic.StoreUint64(&w, v)).
+// Value operands are deliberately not scanned — storing a pmem.Addr
+// *value* into a volatile DRAM-side atomic (queue head/tail mirrors,
+// metrics counters fed from pmem stats) is not a persistence bypass.
+func pmemTypedOperand(info *types.Info, call *ast.CallExpr, isMethod bool) string {
+	found := ""
+	var check func(t types.Type)
+	check = func(t types.Type) {
+		if t == nil || found != "" {
+			return
+		}
+		n := namedOf(t)
+		if n == nil || n.Obj().Pkg() == nil {
+			// Also catch slices/maps of named pmem types.
+			switch u := t.(type) {
+			case *types.Slice:
+				check(u.Elem())
+			case *types.Array:
+				check(u.Elem())
+			}
+			return
+		}
+		for _, p := range pmemStatePkgs {
+			if pathHasSuffix(n.Obj().Pkg().Path(), p) {
+				found = p
+				return
+			}
+		}
+	}
+	scan := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			if ex, ok := n.(ast.Expr); ok {
+				if tv, ok := info.Types[ex]; ok {
+					check(tv.Type)
+				}
+			}
+			return true
+		})
+	}
+	if isMethod {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			scan(sel.X)
+		}
+	} else if len(call.Args) > 0 {
+		scan(call.Args[0])
+	}
+	return found
+}

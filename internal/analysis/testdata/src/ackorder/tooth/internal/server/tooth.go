@@ -1,0 +1,24 @@
+// Package server is the ackorder mutation tooth: acks a client while
+// the batch is uncommitted. The analyzer MUST flag it.
+package server
+
+type batch struct{ pending int }
+
+func (b *batch) Put(k, v uint64) { b.pending++ }
+func (b *batch) Commit() int {
+	n := b.pending
+	b.pending = 0
+	return n
+}
+
+func writeResp(n int) {}
+
+// AckFirst answers the client before the effects are durable — the
+// drain under-answering bug class, inverted.
+func AckFirst(b *batch, ops []uint64) {
+	for _, op := range ops {
+		b.Put(op, op)
+	}
+	writeResp(len(ops)) // want "response write (writeResp) is reachable before the pending batch is committed"
+	b.Commit()
+}

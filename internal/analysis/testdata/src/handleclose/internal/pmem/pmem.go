@@ -1,0 +1,10 @@
+// Package pmem is a fixture stub for handleclose.
+package pmem
+
+type Memory struct{}
+
+type Thread struct{}
+
+func (m *Memory) RegisterThread() *Thread { return &Thread{} }
+func (t *Thread) Release()                {}
+func (t *Thread) Work() uint64            { return 0 }

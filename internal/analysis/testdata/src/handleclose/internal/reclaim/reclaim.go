@@ -1,0 +1,9 @@
+// Package reclaim is a fixture stub for handleclose.
+package reclaim
+
+type Domain struct{}
+
+type Handle struct{}
+
+func (d *Domain) NewHandle() *Handle { return &Handle{} }
+func (h *Handle) Close()             {}

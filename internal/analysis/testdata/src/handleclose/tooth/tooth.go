@@ -1,0 +1,21 @@
+// Package tooth is the handleclose mutation tooth: the PR 9 leak shape
+// (handle dropped on the error path). The analyzer MUST flag it.
+package tooth
+
+import (
+	"errors"
+
+	"flit/internal/analysis/testdata/src/handleclose/internal/pmem"
+)
+
+var errFull = errors.New("full")
+
+// RegisterAndMaybeFail leaks the thread slot when the capacity check
+// fails — the exact leak the reclamation battery caught dynamically.
+func RegisterAndMaybeFail(m *pmem.Memory, full bool) (*pmem.Thread, error) {
+	t := m.RegisterThread()
+	if full {
+		return nil, errFull // want "function returns without releasing pmem thread"
+	}
+	return t, nil
+}

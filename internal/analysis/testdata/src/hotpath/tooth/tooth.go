@@ -1,0 +1,13 @@
+// Package tooth is the hotpath mutation tooth: an annotated hot path
+// that allocates. The analyzer MUST flag it.
+package tooth
+
+import "fmt"
+
+// RecordSlow formats inside the record path — the exact regression the
+// allocs-per-op pin tests catch at runtime.
+//
+//flit:hotpath
+func RecordSlow(v uint64) string {
+	return fmt.Sprintf("v=%d", v) // want "fmt.Sprintf allocates"
+}

@@ -1,0 +1,57 @@
+// Package app exercises persistraw: raw pmem instructions outside the
+// protocol-owning packages.
+package app
+
+import (
+	"sync/atomic"
+
+	"flit/internal/analysis/testdata/src/persistraw/internal/pmem"
+)
+
+type shard struct {
+	head atomic.Uint64 // volatile DRAM-side mirror
+}
+
+func rawWrites(t *pmem.Thread, a pmem.Addr, v uint64) {
+	t.Store(a, v)        // want "raw pmem.Thread.Store bypasses"
+	t.PWB(a)             // want "raw pmem.Thread.PWB bypasses"
+	t.PFence()           // want "raw pmem.Thread.PFence bypasses"
+	_ = t.CAS(a, 0, v)   // want "raw pmem.Thread.CAS bypasses"
+	_ = t.FAA(a, 1)      // want "raw pmem.Thread.FAA bypasses"
+	_ = t.Exchange(a, v) // want "raw pmem.Thread.Exchange bypasses"
+	_ = t.Drain()        // want "raw pmem.Thread.Drain bypasses"
+}
+
+// rawReads is a negative fixture: loads carry no flush obligation.
+func rawReads(t *pmem.Thread, a pmem.Addr) uint64 {
+	return t.Load(a)
+}
+
+func atomicOnPmem(m *pmem.Memory, a pmem.Addr, v uint64) {
+	atomic.StoreUint64(&m.Words[a], v) // want "atomic StoreUint64 on internal/pmem-typed state"
+	atomic.AddUint64(&m.Words[a], 1)   // want "atomic AddUint64 on internal/pmem-typed state"
+	_ = atomic.LoadUint64(&m.Words[a]) // loads are not flagged
+}
+
+// volatileMirror is a negative fixture: storing a pmem.Addr *value*
+// into a DRAM-side atomic is not a persistence bypass (the destination
+// is not pmem-owned).
+func volatileMirror(s *shard, a pmem.Addr) {
+	s.head.Store(uint64(a))
+}
+
+// Recovery rebuilds state single-threaded with its own fence
+// discipline.
+//
+//flit:rawpersist fixture: manual recovery region
+func Recovery(t *pmem.Thread, a pmem.Addr) {
+	t.Store(a, 1)
+	t.PWB(a)
+	t.PFence()
+}
+
+func suppressed(t *pmem.Thread, a pmem.Addr) {
+	//flitvet:ignore persistraw fixture: intentional one-off raw store
+	t.Store(a, 2)
+	t.PWB(a) //flitvet:ignore persistraw fixture: same-line suppression
+}

@@ -1,0 +1,39 @@
+// Package pmem is a fixture stub whose import path ends in
+// internal/pmem, so the analyzers treat its types as the real pmem
+// package's. Raw instructions issued *inside* this package are allowed
+// (it owns the persistence protocol).
+package pmem
+
+import "sync/atomic"
+
+type Addr uint64
+
+type Thread struct{ n uint64 }
+
+func (t *Thread) Load(a Addr) uint64           { return 0 }
+func (t *Thread) Store(a Addr, v uint64)       {}
+func (t *Thread) CAS(a Addr, o, n uint64) bool { return true }
+func (t *Thread) FAA(a Addr, d uint64) uint64  { return 0 }
+func (t *Thread) Exchange(a Addr, v uint64) uint64 {
+	return 0
+}
+func (t *Thread) PWB(a Addr) {}
+func (t *Thread) PFence()    {}
+func (t *Thread) Drain() int { return 0 }
+func (t *Thread) Release()   {}
+
+type Memory struct {
+	Words []uint64
+	seq   atomic.Uint64
+}
+
+func (m *Memory) RegisterThread() *Thread { return &Thread{} }
+
+// internalWrite is a negative fixture: this package owns the protocol,
+// so its own raw instructions are not flagged.
+func (m *Memory) internalWrite(t *Thread, a Addr, v uint64) {
+	t.Store(a, v)
+	t.PWB(a)
+	t.PFence()
+	atomic.StoreUint64(&m.Words[a], v)
+}

@@ -1,0 +1,13 @@
+// Package tooth is the persistraw mutation tooth: a known-bad file the
+// analyzer MUST flag. The suite fails if it produces no finding here —
+// that would mean the analyzer lost its bite.
+package tooth
+
+import "flit/internal/analysis/testdata/src/persistraw/internal/pmem"
+
+// LeakFlush skips the policy entirely: a store with a bare flush from
+// application code. This is the PR 4 bug class distilled.
+func LeakFlush(t *pmem.Thread, a pmem.Addr, v uint64) {
+	t.Store(a, v) // want "raw pmem.Thread.Store bypasses"
+	t.PWB(a)      // want "raw pmem.Thread.PWB bypasses"
+}

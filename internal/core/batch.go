@@ -124,6 +124,8 @@ func (d *Deferred) DeferredStores() int { return d.stores }
 // then the batch's flit-tags are released. It returns the number of
 // lines drained. After Flush returns, every operation executed since the
 // previous Flush is persistent and may be acknowledged.
+//
+//flit:hotpath
 func (d *Deferred) Flush(t *pmem.Thread) int {
 	d.stores = 0
 	if d.kind == deferNone {
@@ -143,6 +145,8 @@ func (d *Deferred) Flush(t *pmem.Thread) int {
 }
 
 // pwbOnce flushes a's line unless it is already pending on the queue.
+//
+//flit:hotpath
 func pwbOnce(t *pmem.Thread, a pmem.Addr) {
 	if !t.LinePending(a) {
 		t.PWB(a)
@@ -153,6 +157,8 @@ func pwbOnce(t *pmem.Thread, a pmem.Addr) {
 // obligation against a line this batch already holds pending is elided —
 // the line drains, with its final contents, at this batch's Flush before
 // any of the batch's responses escape.
+//
+//flit:hotpath
 func (d *Deferred) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	switch d.kind {
 	case deferFlit:
@@ -185,6 +191,8 @@ func (d *Deferred) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 // leading dependency fence is elided with the trailing one: the batch's
 // deferred stores are non-publishing writes (see the type comment), and
 // every pointer-publishing CAS still fences ahead of itself.
+//
+//flit:hotpath
 func (d *Deferred) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	switch d.kind {
 	case deferFlit:
@@ -216,6 +224,8 @@ func (d *Deferred) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 // pending (pwbOnce re-enqueues after each intervening drain), so a
 // fence leaves every deferred store persisted — holding its tag longer
 // would only make readers re-flush already-durable lines.
+//
+//flit:hotpath
 func (d *Deferred) releaseTagsIfFenced(t *pmem.Thread, fencesBefore uint64) {
 	if t.Stats.PFences == fencesBefore || len(d.tags) == 0 {
 		return
@@ -230,6 +240,8 @@ func (d *Deferred) releaseTagsIfFenced(t *pmem.Thread, fencesBefore uint64) {
 // and trailing fences (see the type comment for why the batch must not
 // relax them). Their fences persist the batch's deferred stores as a
 // side effect, so the held tags are released on the spot.
+//
+//flit:hotpath
 func (d *Deferred) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
 	if d.flit == nil {
 		return d.inner.CAS(t, a, old, new, pflag)
@@ -241,6 +253,8 @@ func (d *Deferred) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool)
 }
 
 // FAA delegates untouched (tag release as for CAS).
+//
+//flit:hotpath
 func (d *Deferred) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
 	if d.flit == nil {
 		return d.inner.FAA(t, a, delta, pflag)
@@ -252,6 +266,8 @@ func (d *Deferred) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) ui
 }
 
 // Exchange delegates untouched (tag release as for CAS).
+//
+//flit:hotpath
 func (d *Deferred) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
 	if d.flit == nil {
 		return d.inner.Exchange(t, a, v, pflag)
@@ -263,6 +279,8 @@ func (d *Deferred) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) u
 }
 
 // LoadPrivate delegates: private loads never flush.
+//
+//flit:hotpath
 func (d *Deferred) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	return d.inner.LoadPrivate(t, a, pflag)
 }
@@ -270,12 +288,16 @@ func (d *Deferred) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 // StorePrivate delegates: the optimized modes' private stores are
 // volatile (their persistence rides PersistObject), and a private
 // p-store's immediate fence is rare enough not to batch.
+//
+//flit:hotpath
 func (d *Deferred) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	d.inner.StorePrivate(t, a, v, pflag)
 }
 
 // PersistObject delegates: its flushes land on the same queue and drain
 // at the next fence — the publishing CAS's leading fence, as always.
+//
+//flit:hotpath
 func (d *Deferred) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
 	d.inner.PersistObject(t, base, n)
 }
@@ -283,6 +305,8 @@ func (d *Deferred) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
 // Complete defers the operation-completion fence to Flush: the batch
 // boundary is where the operation's response escapes, so that is where
 // its dependencies must be persistent — not earlier.
+//
+//flit:hotpath
 func (d *Deferred) Complete(t *pmem.Thread) {
 	if d.kind == deferNone {
 		d.inner.Complete(t)

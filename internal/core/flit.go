@@ -24,6 +24,8 @@ func (f *FliT) Name() string { return f.C.Name() }
 func (f *FliT) SupportsRMW() bool { return true }
 
 // Load implements Algorithm 4's shared-load.
+//
+//flit:hotpath
 func (f *FliT) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	t.CheckCrash()
 	v := t.Load(a)
@@ -42,6 +44,8 @@ func (f *FliT) Load(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 
 // persistTagged flushes, fences and untags a tagged p-store that was
 // applied (the success epilogue of Algorithm 4's shared-store).
+//
+//flit:hotpath
 func (f *FliT) persistTagged(t *pmem.Thread, a pmem.Addr) {
 	t.PWB(a)
 	t.PFence() // the new value is persisted before untagging
@@ -49,6 +53,8 @@ func (f *FliT) persistTagged(t *pmem.Thread, a pmem.Addr) {
 }
 
 // Store implements Algorithm 4's shared-store for a plain write.
+//
+//flit:hotpath
 func (f *FliT) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	t.CheckCrash()
 	t.PFence() // dependencies persist before the store linearizes
@@ -62,6 +68,8 @@ func (f *FliT) Store(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 }
 
 // CAS implements Algorithm 4's shared-store for compare-and-swap.
+//
+//flit:hotpath
 func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) bool {
 	t.CheckCrash()
 	t.PFence() // dependencies persist before the store linearizes
@@ -90,6 +98,8 @@ func (f *FliT) CAS(t *pmem.Thread, a pmem.Addr, old, new uint64, pflag bool) boo
 }
 
 // FAA implements Algorithm 4's shared-store for fetch-and-add.
+//
+//flit:hotpath
 func (f *FliT) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64 {
 	t.CheckCrash()
 	t.PFence() // dependencies persist before the store linearizes
@@ -103,6 +113,8 @@ func (f *FliT) FAA(t *pmem.Thread, a pmem.Addr, delta uint64, pflag bool) uint64
 }
 
 // Exchange implements Algorithm 4's shared-store for swap.
+//
+//flit:hotpath
 func (f *FliT) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint64 {
 	t.CheckCrash()
 	t.PFence() // dependencies persist before the store linearizes
@@ -117,6 +129,8 @@ func (f *FliT) Exchange(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) uint6
 
 // LoadPrivate implements Algorithm 4's private-load: no tag check — a
 // private location cannot have a pending p-store by another thread.
+//
+//flit:hotpath
 func (f *FliT) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 	t.CheckCrash()
 	return t.Load(a)
@@ -124,6 +138,8 @@ func (f *FliT) LoadPrivate(t *pmem.Thread, a pmem.Addr, pflag bool) uint64 {
 
 // StorePrivate implements Algorithm 4's private-store: no counter, no
 // leading fence; a p-store still flushes and fences before returning.
+//
+//flit:hotpath
 func (f *FliT) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 	t.CheckCrash()
 	t.Store(a, v)
@@ -134,6 +150,8 @@ func (f *FliT) StorePrivate(t *pmem.Thread, a pmem.Addr, v uint64, pflag bool) {
 }
 
 // PersistObject flushes the object's lines without fencing.
+//
+//flit:hotpath
 func (f *FliT) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
 	t.CheckCrash()
 	persistObject(t, base, n)
@@ -141,12 +159,16 @@ func (f *FliT) PersistObject(t *pmem.Thread, base pmem.Addr, n int) {
 
 // Complete implements operation_completion(): a fence persists every
 // dependency of the finished operation.
+//
+//flit:hotpath
 func (f *FliT) Complete(t *pmem.Thread) {
 	t.CheckCrash()
 	t.PFence()
 }
 
 // persistObject issues one PWB per cache line covering [base, base+n).
+//
+//flit:hotpath
 func persistObject(t *pmem.Thread, base pmem.Addr, n int) {
 	end := base + pmem.Addr(n)
 	for a := base; a < end; a = (a + pmem.WordsPerLine) &^ (pmem.WordsPerLine - 1) {

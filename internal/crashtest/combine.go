@@ -276,6 +276,7 @@ func RunStoreCombinedAdds(st *store.Store, opts StoreOptions, window, hotKeys in
 		keys[i] = opts.KeyOf(uint64(i))
 		seed.Put(keys[i], combineAddBase)
 	}
+	seed.Close()
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	sessions := make([]*store.Sess[string], opts.Workers)
@@ -380,6 +381,7 @@ func RunStoreCombinedAdds(st *store.Store, opts StoreOptions, window, hotKeys in
 	// that keep metadata in the value word (link-and-persist's dirty bit)
 	// strip it on the logical load path.
 	chk := store.Open[string](st2, store.Direct)
+	defer chk.Close()
 	for k := 0; k < hotKeys; k++ {
 		val, ok := chk.Get(keys[k])
 		if !ok {

@@ -81,6 +81,8 @@ func New(cfg dstruct.Config) *BST {
 	r := mkNode(inf2, 0, s, l2)
 	pol.Store(t, cfg.Root(), uint64(r), core.P)
 	pol.Complete(t)
+	ar.Release()
+	t.Release()
 	return Attach(cfg)
 }
 
@@ -389,6 +391,8 @@ func (b *BST) Snapshot() map[uint64]uint64 {
 // tags are discarded with the old structure, and survivors are re-inserted
 // in median order into a fresh tree at the same root, yielding a balanced
 // rebuild.
+//
+//flit:rawpersist recovery is single-threaded; the rebuild fences once after re-insertion
 func Recover(cfg dstruct.Config) *BST {
 	mem := cfg.Heap.Mem()
 	rootRaw := mem.VolatileWord(cfg.Root())

@@ -255,6 +255,9 @@ func (r *Recovery) CompleteWith(pairs map[uint64]uint64) (*Table, int) {
 	return r.complete(byBucket)
 }
 
+// complete rebuilds every bucket chain and fences once at the end.
+//
+//flit:rawpersist recovery is single-threaded; one fence persists all rebuilt chains
 func (r *Recovery) complete(byBucket []map[uint64]uint64) (*Table, int) {
 	t := r.cfg.Heap.Mem().RegisterThread()
 	ar := r.cfg.Heap.NewArena()

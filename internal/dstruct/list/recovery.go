@@ -34,6 +34,8 @@ func GatherAt(cfg *dstruct.Config, head pmem.Addr) map[uint64]uint64 {
 // the link word head, using raw stores (recovery is single-threaded, the
 // paper's crash model spawns new processes). The caller fences afterwards
 // via FinishRebuild.
+//
+//flit:rawpersist single-threaded recovery rebuild with explicit PWB walk per node
 func RebuildAt(cfg *dstruct.Config, t *pmem.Thread, ar *pheap.Arena, head pmem.Addr, pairs map[uint64]uint64) {
 	keys := make([]uint64, 0, len(pairs))
 	for k := range pairs {
@@ -66,6 +68,8 @@ func RebuildAt(cfg *dstruct.Config, t *pmem.Thread, ar *pheap.Arena, head pmem.A
 // clean chain, persisted, and the result attached. cfg.Heap must be a
 // pheap.Recover heap over the crash image, so new nodes cannot overwrite
 // surviving data.
+//
+//flit:rawpersist recovery fences the RebuildAt stores before attach
 func Recover(cfg dstruct.Config) *List {
 	t := cfg.Heap.Mem().RegisterThread()
 	ar := cfg.Heap.NewArena()

@@ -58,6 +58,8 @@ func New(cfg dstruct.Config, buckets int) *Map {
 	pol.PersistObject(t, base, cfg.Words(1+2*b))
 	pol.Store(t, cfg.Root(), uint64(base), core.P)
 	pol.Complete(t)
+	ar.Release()
+	t.Release()
 	return attach(cfg, base, uint64(b))
 }
 
@@ -232,11 +234,14 @@ func (m *Map) Snapshot() map[uint64]uint64 {
 // may have persisted a held lock — after a crash nobody holds anything.
 // Chains are structurally consistent by construction (each insert/delete
 // persists a single link word whose target is already durable).
+//
+//flit:rawpersist lock-word clears are volatile and idempotent across repeated crashes; no flush needed
 func Recover(cfg dstruct.Config) *Map {
 	m := Attach(cfg)
 	t := cfg.Heap.Mem().RegisterThread()
 	for i := 0; i < int(m.buckets); i++ {
 		t.Store(cfg.Field(m.base, 1+2*i), 0)
 	}
+	t.Release()
 	return m
 }

@@ -53,6 +53,8 @@ func New(cfg dstruct.Config) *Queue {
 	pol.PersistObject(t, sentinel, cfg.Words(NumFields))
 	pol.Store(t, cfg.Root(), uint64(sentinel), core.P)
 	pol.Complete(t)
+	ar.Release()
+	t.Release()
 	q := &Queue{cfg: cfg}
 	q.head.Store(uint64(sentinel))
 	q.tail.Store(uint64(sentinel))

@@ -68,6 +68,8 @@ func New(cfg dstruct.Config) *SkipList {
 	pol.PersistObject(t, head, cfg.Words(nodeFields(MaxLevel)))
 	pol.Store(t, cfg.Root(), uint64(head), core.P)
 	pol.Complete(t)
+	ar.Release()
+	t.Release()
 	return Attach(cfg)
 }
 
@@ -364,6 +366,8 @@ func (s *SkipList) Snapshot() map[uint64]uint64 {
 // persisted at cfg's root slot: surviving pairs are gathered from the
 // bottom list (towers are untrusted — Manual never persisted them) and
 // re-inserted into a fresh skiplist at the same root.
+//
+//flit:rawpersist recovery is single-threaded; the rebuild fences once after re-insertion
 func Recover(cfg dstruct.Config) *SkipList {
 	mem := cfg.Heap.Mem()
 	oldHead := dstruct.Ptr(mem.VolatileWord(cfg.Root()))

@@ -50,11 +50,15 @@ type Counter struct {
 }
 
 // Add adds d on the given stripe.
+//
+//flit:hotpath
 func (c *Counter) Add(stripe int, d uint64) {
 	c.s[stripe&(CounterStripes-1)].v.Add(d)
 }
 
 // Inc adds one on the given stripe.
+//
+//flit:hotpath
 func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
 
 // Load sums the stripes. Monotone across calls (each stripe is).
@@ -75,9 +79,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//flit:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adds d (negative to decrement).
+//
+//flit:hotpath
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Load returns the current value.
@@ -95,6 +103,8 @@ const (
 )
 
 // Bucket maps a non-negative value to its bucket index.
+//
+//flit:hotpath
 func Bucket(u uint64) int {
 	if u < SubBuckets {
 		return int(u)
@@ -154,6 +164,8 @@ func (h *Hist) Init() { h.min.Store(math.MaxInt64) }
 
 // RecordNs adds one observation (negative values clamp to zero). Safe
 // for any number of concurrent callers; never allocates.
+//
+//flit:hotpath
 func (h *Hist) RecordNs(ns int64) {
 	if ns < 0 {
 		ns = 0
@@ -185,6 +197,8 @@ func (h *Hist) Record(d time.Duration) { h.RecordNs(d.Nanoseconds()) }
 // single weighted bucket add instead of n RecordNs calls. The batch
 // executor uses it to attribute a batch's execution window to its ops
 // without paying per-op atomics. No-op when n is 0.
+//
+//flit:hotpath
 func (h *Hist) RecordNNs(ns int64, n uint64) {
 	if n == 0 {
 		return

@@ -73,6 +73,8 @@ type Thread struct {
 // counter, which preserves the relative cost ordering of runs without
 // burning wall-clock CPU (crash tests and CI smoke runs never read a
 // latency number, only the modeled ordering).
+//
+//flit:hotpath
 func (t *Thread) charge(n int) {
 	if n <= 0 {
 		return
@@ -97,6 +99,8 @@ func (t *Thread) SetCrashAfter(n int64) { t.crashIn = n }
 // countdown expired. Instrumented instruction wrappers (internal/core)
 // call it once per instruction, so crashes land between — never inside —
 // atomic memory instructions, as on real hardware.
+//
+//flit:hotpath
 func (t *Thread) CheckCrash() {
 	if t.crashIn >= 0 {
 		if t.crashIn == 0 {
@@ -120,6 +124,8 @@ func (t *Thread) Crashed() bool { return t.crashed.Load() }
 
 // touch charges the post-invalidation miss if the line was flushed under
 // InvalidateOnPWB and nobody has re-fetched it yet.
+//
+//flit:hotpath
 func (t *Thread) touch(a Addr) {
 	m := t.M
 	if m.inval == nil {
@@ -133,6 +139,8 @@ func (t *Thread) touch(a Addr) {
 }
 
 // Load atomically reads the volatile value at a.
+//
+//flit:hotpath
 func (t *Thread) Load(a Addr) uint64 {
 	t.touch(a)
 	t.Stats.Loads++
@@ -140,6 +148,8 @@ func (t *Thread) Load(a Addr) uint64 {
 }
 
 // Store atomically writes v to the volatile value at a.
+//
+//flit:hotpath
 func (t *Thread) Store(a Addr, v uint64) {
 	t.touch(a)
 	t.Stats.Stores++
@@ -147,6 +157,8 @@ func (t *Thread) Store(a Addr, v uint64) {
 }
 
 // CAS atomically compares-and-swaps the volatile value at a.
+//
+//flit:hotpath
 func (t *Thread) CAS(a Addr, old, new uint64) bool {
 	t.touch(a)
 	t.Stats.RMWs++
@@ -155,6 +167,8 @@ func (t *Thread) CAS(a Addr, old, new uint64) bool {
 
 // FAA atomically adds delta to the volatile value at a and returns the
 // previous value.
+//
+//flit:hotpath
 func (t *Thread) FAA(a Addr, delta uint64) uint64 {
 	t.touch(a)
 	t.Stats.RMWs++
@@ -163,6 +177,8 @@ func (t *Thread) FAA(a Addr, delta uint64) uint64 {
 
 // Exchange atomically swaps the volatile value at a with v and returns the
 // previous value.
+//
+//flit:hotpath
 func (t *Thread) Exchange(a Addr, v uint64) uint64 {
 	t.touch(a)
 	t.Stats.RMWs++
@@ -173,6 +189,8 @@ func (t *Thread) Exchange(a Addr, v uint64) uint64 {
 // line is queued on the thread's write-back queue; it becomes persistent
 // only once a subsequent PFence drains it (or if a crash-time eviction
 // happens to persist it under CrashMode RandomSubset).
+//
+//flit:hotpath
 func (t *Thread) PWB(a Addr) {
 	t.Stats.PWBs++
 	l := LineOf(a)
@@ -208,6 +226,7 @@ func (t *Thread) Drain() int { return t.drain() }
 // at the next fence.
 func (t *Thread) LinePending(a Addr) bool { return t.wb.has(LineOf(a)) }
 
+//flit:hotpath
 func (t *Thread) drain() int {
 	t.Stats.PFences++
 	m := t.M

@@ -47,12 +47,16 @@ func (q *wbQueue) init(n int) {
 // hash spreads lines over slot indices (Fibonacci hashing; the top bits
 // of the product are the well-mixed ones, so index by shifting, not
 // masking).
+//
+//flit:hotpath
 func (q *wbQueue) hash(l Line) uint {
 	return uint((uint64(l) * 0x9E3779B97F4A7C15) >> q.shift)
 }
 
 // add enqueues l if it is not already pending and reports whether it was
 // newly enqueued.
+//
+//flit:hotpath
 func (q *wbQueue) add(l Line) bool {
 	if q.slots == nil {
 		q.init(wbMinSlots)
@@ -75,6 +79,8 @@ func (q *wbQueue) add(l Line) bool {
 }
 
 // has reports whether l is pending (flushed since the last fence).
+//
+//flit:hotpath
 func (q *wbQueue) has(l Line) bool {
 	if q.slots == nil || len(q.lines) == 0 {
 		return false

@@ -65,6 +65,8 @@ type cslot struct {
 }
 
 // announce publishes the slot's prepared ops to the combiner.
+//
+//flit:hotpath
 func (sl *cslot) announce() { sl.state.Store(slotAnnounced) }
 
 // combiner is one shard's flat combiner: the combining lock, the slot
@@ -191,6 +193,8 @@ func (c *combiner) deregister(sl *cslot) {
 // applyCombined groups the hashed op vector by shard, announces each
 // group to its shard's combiner, waits for every window to commit, and
 // gathers results back into res in vector order.
+//
+//flit:hotpath
 func (c *sessionCore) applyCombined(ops []hashedOp, res []Result) {
 	st := c.st
 	if st.combCrashed.Load() {
@@ -318,6 +322,8 @@ func (c *combiner) run() {
 // diverted into the net-delta accumulator (unless noCoalesce); every
 // other kind settles any pending delta on its key first, so results
 // always reflect vector order per key.
+//
+//flit:hotpath
 func (c *combiner) execSlot(sl *cslot) {
 	for j := 0; j < sl.n; j++ {
 		op := &sl.ops[j]
@@ -348,6 +354,8 @@ func (c *combiner) execSlot(sl *cslot) {
 }
 
 // noteDelta folds an OpAdd into the window's pending net deltas.
+//
+//flit:hotpath
 func (c *combiner) noteDelta(h, delta uint64) {
 	if old, ok := c.pending[h]; ok {
 		c.pending[h] = old + delta
@@ -361,6 +369,8 @@ func (c *combiner) noteDelta(h, delta uint64) {
 // non-Add operation on h observes the table. Required for correctness,
 // not just freshness: e.g. a Delete after a pending Add on an absent key
 // must find the key present.
+//
+//flit:hotpath
 func (c *combiner) settleDelta(h uint64) {
 	d, ok := c.pending[h]
 	if !ok {
@@ -375,6 +385,8 @@ func (c *combiner) settleDelta(h uint64) {
 // — the VSA win for self-cancelling traffic — but on an absent key even
 // net zero must insert (Add's insert-if-absent semantics are part of
 // every announced op's contract).
+//
+//flit:hotpath
 func (c *combiner) flushDeltas() {
 	if len(c.dkeys) == 0 {
 		return

@@ -121,6 +121,8 @@ type SplitStatus struct {
 // blocks until the migration has drained. Split cannot run while flat
 // combiners exist (they capture the shard list at build time) or while a
 // previous split is still migrating.
+//
+//flit:rawpersist split activation writes directory anchors and the superblock activation word with explicit fence ordering
 func (s *Store) Split(newShards int) error {
 	s.growMu.Lock()
 	defer s.growMu.Unlock()

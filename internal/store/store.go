@@ -229,6 +229,8 @@ func New(opts Options) (*Store, error) {
 // superblock is format-time metadata (what a mkfs tool writes), and must
 // survive even under the no-persist baseline policy — whose data losses
 // the crash checker then observes against an intact layout.
+//
+//flit:rawpersist format-time metadata with its own store-PWB-fence discipline
 func (s *Store) writeSuperblock() {
 	cfg := s.cfgFor(superRoot)
 	t := s.mem.RegisterThread()
@@ -265,6 +267,8 @@ func (s *Store) sbField(f int) pmem.Addr {
 // sbWrite updates one superblock field in place with a raw fenced store —
 // format metadata, like writeSuperblock (it must survive even under the
 // no-persist baseline policy).
+//
+//flit:rawpersist format-time metadata with its own store-PWB-fence discipline
 func (s *Store) sbWrite(t *pmem.Thread, f int, v uint64) {
 	a := s.sbField(f)
 	t.Store(a, v)

@@ -1,7 +1,8 @@
-// Smoke coverage for the main packages: the eight binaries under cmd/ and
+// Smoke coverage for the main packages: the nine binaries under cmd/ and
 // examples/ have no test files of their own, so this suite builds every
-// one of them and runs the quickstart example and a miniature flitstore
-// load→crash→recover cycle end-to-end.
+// one of them, runs the quickstart example and a miniature flitstore
+// load→crash→recover cycle end-to-end, and drives the flitvet static
+// analyzer against a module with one seeded violation per analyzer.
 package flit_test
 
 import (
@@ -33,8 +34,17 @@ func TestBuildAllMainPackages(t *testing.T) {
 		t.Fatalf("go list: %v\n%s", err, out)
 	}
 	pkgs := strings.Fields(string(out))
-	if len(pkgs) < 8 {
-		t.Fatalf("expected at least 8 main packages, go list found %d: %v", len(pkgs), pkgs)
+	if len(pkgs) < 9 {
+		t.Fatalf("expected at least 9 main packages, go list found %d: %v", len(pkgs), pkgs)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p == "flit/cmd/flitvet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cmd/flitvet missing from the build battery: %v", pkgs)
 	}
 	args := append([]string{"build", "-o", t.TempDir()}, pkgs...)
 	if out, err := exec.Command(gobin, args...).CombinedOutput(); err != nil {
@@ -334,5 +344,113 @@ func TestFlitstoredObservabilityEndToEnd(t *testing.T) {
 	}
 	if final.Recovery == nil || final.Recovery.Keys != 1024 {
 		t.Fatalf("stats-json missing recovery stats: %s", data)
+	}
+}
+
+// TestFlitvetEndToEnd builds the flitvet static-analysis driver and runs
+// it against a throwaway module seeded with exactly one violation per
+// analyzer: a raw pmem store (persistraw), a thread handle leaked on an
+// early return (handleclose), a response written before the batch
+// commits (ackorder), and an fmt call on a //flit:hotpath function
+// (hotpath). flitvet must exit 1 and name all four analyzers.
+func TestFlitvetEndToEnd(t *testing.T) {
+	gobin := goTool(t)
+	bin := filepath.Join(t.TempDir(), "flitvet")
+	if out, err := exec.Command(gobin, "build", "-o", bin, "./cmd/flitvet").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/flitvet: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write("go.mod", "module vetcheck\n\ngo 1.24\n")
+	// The import path suffix internal/pmem makes this stub the
+	// protocol-owning package in the analyzers' eyes.
+	write("internal/pmem/pmem.go", `package pmem
+
+type Addr uint64
+
+type Thread struct{}
+
+func (t *Thread) Store(a Addr, v uint64) {}
+func (t *Thread) Release()               {}
+
+type Memory struct{}
+
+func (m *Memory) RegisterThread() *Thread { return &Thread{} }
+`)
+	// ackorder scope: a batch carrier type in an internal/server-suffixed
+	// package, acked between the effect and the commit.
+	write("internal/server/server.go", `package server
+
+type Batch struct{}
+
+func (b *Batch) Put(k, v string) {}
+func (b *Batch) Commit()         {}
+
+func writeResp() {}
+
+func Handle(b *Batch) {
+	b.Put("k", "v")
+	writeResp()
+	b.Commit()
+}
+`)
+	write("app/app.go", `package app
+
+import (
+	"errors"
+	"fmt"
+
+	"vetcheck/internal/pmem"
+)
+
+var errBusy = errors.New("busy")
+
+// rawStore bypasses the policy skeleton: persistraw.
+func rawStore(t *pmem.Thread, a pmem.Addr, v uint64) {
+	t.Store(a, v)
+}
+
+// leakOnError drops the thread handle on the early return: handleclose.
+func leakOnError(m *pmem.Memory, bad bool) error {
+	t := m.RegisterThread()
+	if bad {
+		return errBusy
+	}
+	t.Release()
+	return nil
+}
+
+// hot allocates via fmt on an annotated hot path: hotpath.
+//
+//flit:hotpath
+func hot(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+var _ = rawStore
+var _ = leakOnError
+var _ = hot
+`)
+
+	out, err := exec.Command(bin, "-dir", mod, "./...").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("flitvet on seeded module: want exit 1, got err=%v\n%s", err, out)
+	}
+	for _, analyzer := range []string{"persistraw", "handleclose", "ackorder", "hotpath"} {
+		if !strings.Contains(string(out), analyzer+":") {
+			t.Errorf("flitvet output missing a %s finding:\n%s", analyzer, out)
+		}
 	}
 }
